@@ -1,0 +1,191 @@
+//! Landmark labeling (LL).
+//!
+//! Pre-computes shortest-path distances from a set of landmark vertices by
+//! running a batch of SSSPs (the fork-processing pattern, 16–1024 queries in
+//! the paper following Akiba et al.), then answers point-to-point distance
+//! queries with the landmark upper bound
+//! `d(u, v) <= min_l d(l, u) + d(l, v)` (exact when a landmark lies on a
+//! shortest path; the graphs used here are symmetric, so `d(l, u) = d(u, l)`).
+
+use fg_baselines::fpp::{ExecutionScheme, FppDriver, QueryKind};
+use fg_baselines::GpsEngine;
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use fg_metrics::Measurement;
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+use crate::sample_sources;
+
+/// The landmark-label index produced by the application.
+#[derive(Clone, Debug)]
+pub struct LandmarkIndex {
+    /// The landmark vertices.
+    pub landmarks: Vec<VertexId>,
+    /// `distances[i][v]` = distance from landmark `i` to vertex `v`.
+    pub distances: Vec<Vec<Dist>>,
+}
+
+impl LandmarkIndex {
+    /// Upper-bound estimate of `d(u, v)` via the landmarks; [`INF_DIST`] if no
+    /// landmark reaches both endpoints.
+    pub fn estimate(&self, u: VertexId, v: VertexId) -> Dist {
+        let mut best = INF_DIST;
+        for dist in &self.distances {
+            let du = dist[u as usize];
+            let dv = dist[v as usize];
+            if du != INF_DIST && dv != INF_DIST {
+                best = best.min(du + dv);
+            }
+        }
+        best
+    }
+
+    /// Number of labels stored (landmarks × vertices).
+    pub fn num_labels(&self) -> usize {
+        self.distances.iter().map(|d| d.len()).sum()
+    }
+}
+
+/// Result of building a landmark-label index.
+#[derive(Clone, Debug)]
+pub struct LlResult {
+    /// The index.
+    pub index: LandmarkIndex,
+    /// Measurement of the FPP (SSSP batch) part.
+    pub measurement: Measurement,
+}
+
+/// The landmark-labeling application.
+#[derive(Clone, Copy, Debug)]
+pub struct LandmarkLabeling {
+    /// Number of landmark vertices (16–1024 in the paper).
+    pub num_landmarks: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl LandmarkLabeling {
+    /// Create the application with `num_landmarks` randomly sampled landmarks.
+    pub fn new(num_landmarks: usize, seed: u64) -> Self {
+        LandmarkLabeling { num_landmarks, seed }
+    }
+
+    /// The landmark vertices for `graph`.
+    pub fn landmarks(&self, graph: &CsrGraph) -> Vec<VertexId> {
+        sample_sources(graph.num_vertices(), self.num_landmarks, self.seed)
+    }
+
+    /// Run on the ForkGraph engine.
+    pub fn run_forkgraph(&self, pg: &PartitionedGraph, config: EngineConfig) -> LlResult {
+        let landmarks = self.landmarks(pg.graph());
+        let engine = ForkGraphEngine::new(pg, config);
+        let result = engine.run_sssp(&landmarks);
+        LlResult {
+            index: LandmarkIndex { landmarks, distances: result.per_query },
+            measurement: result.measurement,
+        }
+    }
+
+    /// Run on a baseline GPS driver.
+    pub fn run_baseline<E: GpsEngine>(
+        &self,
+        driver: &FppDriver<E>,
+        scheme: ExecutionScheme,
+        graph: &CsrGraph,
+    ) -> LlResult {
+        let landmarks = self.landmarks(graph);
+        let result = driver.run(&QueryKind::Sssp, &landmarks, scheme);
+        let distances: Vec<Vec<Dist>> = result
+            .outputs
+            .iter()
+            .map(|o| o.as_sssp().expect("SSSP output").to_vec())
+            .collect();
+        LlResult {
+            index: LandmarkIndex { landmarks, distances },
+            measurement: result.measurement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_baselines::GeminiEngine;
+    use fg_graph::gen;
+    use fg_graph::partition::{PartitionConfig, PartitionMethod};
+    use std::sync::Arc;
+
+    fn weighted_graph() -> CsrGraph {
+        gen::grid2d(14, 14, 0.03, 5).with_random_weights(7, 5)
+    }
+
+    #[test]
+    fn estimates_upper_bound_true_distances() {
+        let g = weighted_graph();
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 5),
+        );
+        let ll = LandmarkLabeling::new(12, 3);
+        let result = ll.run_forkgraph(&pg, EngineConfig::default());
+        let truth = fg_seq::dijkstra::dijkstra(&g, 0).dist;
+        for v in (0..g.num_vertices() as VertexId).step_by(17) {
+            let est = result.index.estimate(0, v);
+            if truth[v as usize] == INF_DIST {
+                continue;
+            }
+            assert!(est >= truth[v as usize], "estimate {est} below true {}", truth[v as usize]);
+        }
+    }
+
+    #[test]
+    fn estimate_is_exact_when_endpoint_is_a_landmark() {
+        let g = weighted_graph();
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 5),
+        );
+        let ll = LandmarkLabeling::new(8, 11);
+        let result = ll.run_forkgraph(&pg, EngineConfig::default());
+        let landmark = result.index.landmarks[0];
+        let truth = fg_seq::dijkstra::dijkstra(&g, landmark).dist;
+        for v in (0..g.num_vertices() as VertexId).step_by(23) {
+            if truth[v as usize] != INF_DIST {
+                assert_eq!(result.index.estimate(landmark, v), truth[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn forkgraph_and_baseline_build_identical_indices() {
+        let g = weighted_graph();
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 4),
+        );
+        let ll = LandmarkLabeling::new(6, 21);
+        let fork = ll.run_forkgraph(&pg, EngineConfig::default());
+        let driver = FppDriver::new(GeminiEngine::new(), Arc::new(g.clone()));
+        let base = ll.run_baseline(&driver, ExecutionScheme::InterQuery, &g);
+        assert_eq!(fork.index.landmarks, base.index.landmarks);
+        assert_eq!(fork.index.distances, base.index.distances);
+        assert_eq!(fork.index.num_labels(), 6 * g.num_vertices());
+    }
+
+    #[test]
+    fn more_landmarks_never_worsen_estimates() {
+        let g = weighted_graph();
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 4),
+        );
+        let small = LandmarkLabeling::new(4, 7).run_forkgraph(&pg, EngineConfig::default());
+        let mut large_index = small.index.clone();
+        let extra = LandmarkLabeling::new(8, 77).run_forkgraph(&pg, EngineConfig::default());
+        large_index.landmarks.extend(extra.index.landmarks);
+        large_index.distances.extend(extra.index.distances);
+        for (u, v) in [(0u32, 50u32), (3, 120), (10, 99)] {
+            assert!(large_index.estimate(u, v) <= small.index.estimate(u, v));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Vertex subsets (frontiers) in the style of Ligra.
+//!
+//! A frontier is either *sparse* (an explicit vertex list) or *dense* (a
+//! boolean per vertex). Ligra's direction optimisation switches between push
+//! (iterate the sparse frontier's out-edges) and pull (iterate all vertices'
+//! in-edges) based on the frontier's total degree.
+
+use fg_graph::{CsrGraph, VertexId};
+
+/// A subset of the vertices, stored sparsely or densely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VertexSubset {
+    /// Explicit vertex list (not necessarily sorted, no duplicates).
+    Sparse(Vec<VertexId>),
+    /// One flag per vertex.
+    Dense(Vec<bool>),
+}
+
+impl VertexSubset {
+    /// An empty sparse subset.
+    pub fn empty() -> Self {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// A subset containing a single vertex.
+    pub fn single(v: VertexId) -> Self {
+        VertexSubset::Sparse(vec![v])
+    }
+
+    /// Build from a vertex list (deduplicated).
+    pub fn from_vertices(mut vs: Vec<VertexId>) -> Self {
+        vs.sort_unstable();
+        vs.dedup();
+        VertexSubset::Sparse(vs)
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(v) => v.len(),
+            VertexSubset::Dense(b) => b.iter().filter(|&&x| x).count(),
+        }
+    }
+
+    /// True if no vertex is a member.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VertexSubset::Sparse(v) => v.is_empty(),
+            VertexSubset::Dense(b) => !b.iter().any(|&x| x),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            VertexSubset::Sparse(vs) => vs.contains(&v),
+            VertexSubset::Dense(b) => b.get(v as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// The member vertices as a vector (sorted for dense subsets).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        match self {
+            VertexSubset::Sparse(v) => v.clone(),
+            VertexSubset::Dense(b) => b
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x)
+                .map(|(i, _)| i as VertexId)
+                .collect(),
+        }
+    }
+
+    /// Convert to dense representation for a graph of `n` vertices.
+    pub fn to_dense(&self, n: usize) -> Vec<bool> {
+        match self {
+            VertexSubset::Sparse(vs) => {
+                let mut b = vec![false; n];
+                for &v in vs {
+                    b[v as usize] = true;
+                }
+                b
+            }
+            VertexSubset::Dense(b) => {
+                let mut b = b.clone();
+                b.resize(n, false);
+                b
+            }
+        }
+    }
+
+    /// Sum of out-degrees of the member vertices.
+    pub fn total_out_degree(&self, graph: &CsrGraph) -> usize {
+        self.to_vec().iter().map(|&v| graph.out_degree(v)).sum()
+    }
+
+    /// Ligra's direction heuristic: pull (dense, bottom-up) when the frontier
+    /// plus its out-edges exceed `|E| / threshold_divisor`.
+    pub fn should_pull(&self, graph: &CsrGraph, threshold_divisor: usize) -> bool {
+        let work = self.len() + self.total_out_degree(graph);
+        work > graph.num_edges() / threshold_divisor.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::gen;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = VertexSubset::from_vertices(vec![3, 1, 3, 2]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(1));
+        assert!(!s.contains(0));
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        assert!(VertexSubset::empty().is_empty());
+        assert_eq!(VertexSubset::single(7).to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = VertexSubset::from_vertices(vec![0, 4]);
+        let d = VertexSubset::Dense(s.to_dense(6));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.to_vec(), vec![0, 4]);
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+    }
+
+    #[test]
+    fn degree_sum_and_direction_heuristic() {
+        let g = gen::complete(10); // every vertex has degree 9, |E| = 90
+        let small = VertexSubset::single(0);
+        assert_eq!(small.total_out_degree(&g), 9);
+        assert!(!small.should_pull(&g, 5)); // 1 + 9 = 10 <= 90/5 = 18
+        let large = VertexSubset::from_vertices((0..5).collect());
+        assert!(large.should_pull(&g, 5)); // 5 + 45 = 50 > 18
+    }
+
+    #[test]
+    fn empty_dense_subset() {
+        let d = VertexSubset::Dense(vec![false; 8]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.to_vec().is_empty());
+    }
+}

@@ -1,0 +1,551 @@
+//! Shared frontier kernels parameterised by each baseline system's execution
+//! strategy.
+//!
+//! The three baseline engines differ in *how* they drive an iteration — Ligra
+//! switches between sparse push and dense pull, Gemini always runs dense
+//! bulk-synchronous rounds, GraphIt additionally blocks the dense phase into
+//! cache-sized destination segments — but the per-edge relaxation logic is the
+//! same. Keeping the kernels here keeps the engines honest: they genuinely
+//! share the relaxation code and only differ in their scheduling strategy,
+//! which is what the paper's comparison is about.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use fg_seq::ppr::PprConfig;
+
+use crate::engine::QueryContext;
+
+/// How an engine drives frontier iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IterationStrategy {
+    /// Ligra/GraphIt: sparse push until the frontier grows past
+    /// `|E| / divisor`, then dense pull. `pull_segment` optionally blocks the
+    /// dense phase into destination segments of that many vertices (GraphIt's
+    /// cache optimisation).
+    DirectionOptimizing { divisor: usize, pull_segment: Option<usize> },
+    /// Gemini: every iteration is a dense bulk-synchronous round.
+    DenseAlways,
+}
+
+// ---------------------------------------------------------------------------
+// SSSP
+// ---------------------------------------------------------------------------
+
+/// Frontier-based (Bellman-Ford style) SSSP used by all three baseline
+/// engines. Parallel iterations use atomic `fetch_min` relaxations, exactly the
+/// "parallel algorithms perform more work than their sequential counterparts"
+/// behaviour the paper contrasts with ForkGraph's sequential kernels.
+pub fn frontier_sssp(
+    graph: &CsrGraph,
+    source: VertexId,
+    ctx: &QueryContext<'_>,
+    strategy: IterationStrategy,
+) -> Vec<Dist> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF_DIST)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier: Vec<VertexId> = vec![source];
+
+    while !frontier.is_empty() {
+        ctx.counters.add_iteration();
+        let dense = match strategy {
+            IterationStrategy::DenseAlways => true,
+            IterationStrategy::DirectionOptimizing { divisor, .. } => {
+                let work: usize =
+                    frontier.len() + frontier.iter().map(|&v| graph.out_degree(v)).sum::<usize>();
+                work > graph.num_edges() / divisor.max(1)
+            }
+        };
+        frontier = if dense {
+            let segment = match strategy {
+                IterationStrategy::DirectionOptimizing { pull_segment, .. } => pull_segment,
+                IterationStrategy::DenseAlways => None,
+            };
+            dense_sssp_round(graph, &dist, &frontier, ctx, segment)
+        } else {
+            push_sssp_round(graph, &dist, &frontier, ctx)
+        };
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+fn push_sssp_round(
+    graph: &CsrGraph,
+    dist: &[AtomicU64],
+    frontier: &[VertexId],
+    ctx: &QueryContext<'_>,
+) -> Vec<VertexId> {
+    let in_next: Vec<AtomicBool> = (0..graph.num_vertices()).map(|_| AtomicBool::new(false)).collect();
+    let relax = |u: VertexId| -> Vec<VertexId> {
+        let mut discovered = Vec::new();
+        let du = dist[u as usize].load(Ordering::Relaxed);
+        if du == INF_DIST {
+            return discovered;
+        }
+        ctx.record_scan(graph, u);
+        ctx.record_state_touch(u, graph.out_neighbors(u));
+        for (v, w) in graph.out_edges(u) {
+            let nd = du + w as Dist;
+            let prev = dist[v as usize].fetch_min(nd, Ordering::Relaxed);
+            if nd < prev && !in_next[v as usize].swap(true, Ordering::Relaxed) {
+                discovered.push(v);
+            }
+        }
+        discovered
+    };
+    if ctx.parallel {
+        frontier.par_iter().map(|&u| relax(u)).reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+    } else {
+        let mut next = Vec::new();
+        for &u in frontier {
+            next.append(&mut relax(u));
+        }
+        next
+    }
+}
+
+fn dense_sssp_round(
+    graph: &CsrGraph,
+    dist: &[AtomicU64],
+    frontier: &[VertexId],
+    ctx: &QueryContext<'_>,
+    segment: Option<usize>,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut in_frontier = vec![false; n];
+    for &v in frontier {
+        in_frontier[v as usize] = true;
+    }
+    let pull = |v: VertexId| -> Option<VertexId> {
+        let mut best = dist[v as usize].load(Ordering::Relaxed);
+        let mut improved = false;
+        let in_deg = graph.in_degree(v);
+        ctx.counters.add_edges(in_deg as u64);
+        if ctx.tracer.is_enabled() {
+            ctx.tracer.adjacency_scan(graph.adjacency_offset(v), in_deg);
+            let ids: Vec<u64> = graph.in_neighbors(v).iter().map(|&u| u as u64).collect();
+            ctx.tracer.state_read_batch(ctx.query_id, &ids);
+        }
+        for (u, w) in graph.in_edges(v) {
+            if in_frontier[u as usize] {
+                let du = dist[u as usize].load(Ordering::Relaxed);
+                if du != INF_DIST && du + (w as Dist) < best {
+                    best = du + w as Dist;
+                    improved = true;
+                }
+            }
+        }
+        if improved {
+            dist[v as usize].fetch_min(best, Ordering::Relaxed);
+            Some(v)
+        } else {
+            None
+        }
+    };
+    let segment = segment.unwrap_or(n).max(1);
+    let mut next = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + segment).min(n);
+        let range: Vec<VertexId> = (start as VertexId..end as VertexId).collect();
+        let mut found: Vec<VertexId> = if ctx.parallel {
+            range.par_iter().filter_map(|&v| pull(v)).collect()
+        } else {
+            range.iter().filter_map(|&v| pull(v)).collect()
+        };
+        next.append(&mut found);
+        start = end;
+    }
+    next
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+/// Frontier-based BFS with direction optimisation.
+pub fn frontier_bfs(
+    graph: &CsrGraph,
+    source: VertexId,
+    ctx: &QueryContext<'_>,
+    strategy: IterationStrategy,
+) -> Vec<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    level[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut current_level = 0u32;
+
+    while !frontier.is_empty() {
+        ctx.counters.add_iteration();
+        let dense = match strategy {
+            IterationStrategy::DenseAlways => true,
+            IterationStrategy::DirectionOptimizing { divisor, .. } => {
+                let work: usize =
+                    frontier.len() + frontier.iter().map(|&v| graph.out_degree(v)).sum::<usize>();
+                work > graph.num_edges() / divisor.max(1)
+            }
+        };
+        let next_level = current_level + 1;
+        frontier = if dense {
+            let mut in_frontier = vec![false; n];
+            for &v in &frontier {
+                in_frontier[v as usize] = true;
+            }
+            let segment = match strategy {
+                IterationStrategy::DirectionOptimizing { pull_segment, .. } => pull_segment.unwrap_or(n),
+                IterationStrategy::DenseAlways => n,
+            }
+            .max(1);
+            let pull = |v: VertexId| -> Option<VertexId> {
+                if level[v as usize].load(Ordering::Relaxed) != u32::MAX {
+                    return None;
+                }
+                let in_deg = graph.in_degree(v);
+                ctx.counters.add_edges(in_deg as u64);
+                if ctx.tracer.is_enabled() {
+                    // The BFS pull scan early-exits on the first frontier
+                    // neighbour and only consults the frontier bitmap, so only
+                    // the adjacency lines are charged here (charging a full
+                    // per-neighbour state scan would over-count this path).
+                    ctx.tracer.adjacency_scan(graph.adjacency_offset(v), in_deg);
+                }
+                for &u in graph.in_neighbors(v) {
+                    if in_frontier[u as usize] {
+                        level[v as usize].store(next_level, Ordering::Relaxed);
+                        return Some(v);
+                    }
+                }
+                None
+            };
+            let mut next = Vec::new();
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + segment).min(n);
+                let range: Vec<VertexId> = (start as VertexId..end as VertexId).collect();
+                let mut found: Vec<VertexId> = if ctx.parallel {
+                    range.par_iter().filter_map(|&v| pull(v)).collect()
+                } else {
+                    range.iter().filter_map(|&v| pull(v)).collect()
+                };
+                next.append(&mut found);
+                start = end;
+            }
+            next
+        } else {
+            let explore = |u: VertexId| -> Vec<VertexId> {
+                let mut discovered = Vec::new();
+                ctx.record_scan(graph, u);
+                ctx.record_state_touch(u, graph.out_neighbors(u));
+                for &v in graph.out_neighbors(u) {
+                    if level[v as usize]
+                        .compare_exchange(u32::MAX, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        discovered.push(v);
+                    }
+                }
+                discovered
+            };
+            if ctx.parallel {
+                frontier.par_iter().map(|&u| explore(u)).reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+            } else {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    next.append(&mut explore(u));
+                }
+                next
+            }
+        };
+        current_level = next_level;
+    }
+    level.into_iter().map(|l| l.into_inner()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// PPR
+// ---------------------------------------------------------------------------
+
+/// Frontier push-based approximate PPR (parallel variant of the
+/// Andersen–Chung–Lang kernel in `fg-seq`).
+///
+/// `dense_scan` makes every iteration scan all vertices for active residuals
+/// (Gemini's bulk-synchronous behaviour) instead of tracking an explicit
+/// frontier.
+pub fn frontier_ppr(
+    graph: &CsrGraph,
+    seed: VertexId,
+    config: &PprConfig,
+    ctx: &QueryContext<'_>,
+    dense_scan: bool,
+) -> Vec<(VertexId, f64)> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut estimate = vec![0.0f64; n];
+    let mut residual = vec![0.0f64; n];
+    residual[seed as usize] = 1.0;
+    let mut frontier: Vec<VertexId> = vec![seed];
+    let mut pushes = 0u64;
+
+    loop {
+        ctx.counters.add_iteration();
+        let active: Vec<VertexId> = if dense_scan {
+            let collect = |v: &VertexId| {
+                let v = *v;
+                let deg = graph.out_degree(v).max(1) as f64;
+                if residual[v as usize] >= config.epsilon * deg {
+                    Some(v)
+                } else {
+                    None
+                }
+            };
+            let all: Vec<VertexId> = (0..n as VertexId).collect();
+            // A dense scan reads every vertex's residual once per round.
+            ctx.counters.add_edges(n as u64 / 8);
+            if ctx.parallel {
+                all.par_iter().filter_map(|v| collect(v)).collect()
+            } else {
+                all.iter().filter_map(collect).collect()
+            }
+        } else {
+            frontier
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    residual[v as usize] >= config.epsilon * graph.out_degree(v).max(1) as f64
+                })
+                .collect()
+        };
+        if active.is_empty() {
+            break;
+        }
+
+        // Two-phase push so the parallel variant needs no atomics on floats:
+        // each task accumulates into a private delta vector, then the deltas
+        // are reduced and applied.
+        let push_one = |u: VertexId, delta: &mut Vec<f64>, next: &mut Vec<VertexId>| {
+            let r = residual[u as usize];
+            let deg = graph.out_degree(u).max(1) as f64;
+            ctx.record_scan(graph, u);
+            ctx.record_state_touch(u, graph.out_neighbors(u));
+            estimate_add(delta, u, config.alpha * r, n);
+            let push_mass = (1.0 - config.alpha) * r;
+            // Lazy variant: half stays on u, half spreads over the neighbours.
+            residual_add(delta, u, push_mass / 2.0 - r, n);
+            if graph.out_degree(u) == 0 {
+                residual_add(delta, u, push_mass / 2.0, n);
+            } else {
+                let share = push_mass / 2.0 / deg;
+                for &v in graph.out_neighbors(u) {
+                    residual_add(delta, v, share, n);
+                    next.push(v);
+                }
+            }
+            next.push(u);
+        };
+
+        let (delta, mut next): (Vec<f64>, Vec<VertexId>) = if ctx.parallel {
+            active
+                .par_iter()
+                .fold(
+                    || (vec![0.0f64; 2 * n], Vec::new()),
+                    |(mut delta, mut next), &u| {
+                        push_one(u, &mut delta, &mut next);
+                        (delta, next)
+                    },
+                )
+                .reduce(
+                    || (vec![0.0f64; 2 * n], Vec::new()),
+                    |(mut d1, mut n1), (d2, mut n2)| {
+                        for (a, b) in d1.iter_mut().zip(d2.iter()) {
+                            *a += b;
+                        }
+                        n1.append(&mut n2);
+                        (d1, n1)
+                    },
+                )
+        } else {
+            let mut delta = vec![0.0f64; 2 * n];
+            let mut next = Vec::new();
+            for &u in &active {
+                push_one(u, &mut delta, &mut next);
+            }
+            (delta, next)
+        };
+        pushes += active.len() as u64;
+
+        // Apply the deltas: first half of the vector is estimate, second half
+        // residual.
+        for v in 0..n {
+            estimate[v] += delta[v];
+            residual[v] += delta[n + v];
+            if residual[v] < 0.0 {
+                residual[v] = 0.0; // guard against float cancellation noise
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+        if config.max_pushes > 0 && pushes >= config.max_pushes {
+            break;
+        }
+    }
+
+    ctx.counters.add_operations(pushes);
+    estimate
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.0)
+        .map(|(v, &p)| (v as VertexId, p))
+        .collect()
+}
+
+#[inline]
+fn estimate_add(delta: &mut [f64], v: VertexId, x: f64, _n: usize) {
+    delta[v as usize] += x;
+}
+
+#[inline]
+fn residual_add(delta: &mut [f64], v: VertexId, x: f64, n: usize) {
+    delta[n + v as usize] += x;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cachesim::GraphAccessTracer;
+    use fg_graph::gen;
+    use fg_metrics::WorkCounters;
+    use fg_seq::{bfs::bfs, dijkstra::dijkstra};
+
+    fn ctx<'a>(
+        tracer: &'a GraphAccessTracer,
+        counters: &'a WorkCounters,
+        parallel: bool,
+    ) -> QueryContext<'a> {
+        QueryContext { query_id: 0, parallel, tracer, counters }
+    }
+
+    const LIGRA_STRATEGY: IterationStrategy =
+        IterationStrategy::DirectionOptimizing { divisor: 20, pull_segment: None };
+
+    #[test]
+    fn sssp_matches_dijkstra_sequential_and_parallel() {
+        let g = gen::erdos_renyi(300, 2500, 1).with_random_weights(9, 1);
+        let oracle = dijkstra(&g, 0).dist;
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        for parallel in [false, true] {
+            let d = frontier_sssp(&g, 0, &ctx(&tracer, &counters, parallel), LIGRA_STRATEGY);
+            assert_eq!(d, oracle, "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn sssp_dense_always_matches_dijkstra() {
+        let g = gen::grid2d(20, 20, 0.02, 3).with_random_weights(7, 2);
+        let oracle = dijkstra(&g, 5).dist;
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        let d = frontier_sssp(&g, 5, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
+        assert_eq!(d, oracle);
+    }
+
+    #[test]
+    fn sssp_segmented_pull_matches_dijkstra() {
+        let g = gen::rmat(9, 6, 4).with_random_weights(5, 4);
+        let oracle = dijkstra(&g, 7).dist;
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        let strategy = IterationStrategy::DirectionOptimizing { divisor: 20, pull_segment: Some(64) };
+        let d = frontier_sssp(&g, 7, &ctx(&tracer, &counters, true), strategy);
+        assert_eq!(d, oracle);
+    }
+
+    #[test]
+    fn bfs_matches_sequential_bfs() {
+        let g = gen::rmat(9, 5, 2);
+        let oracle = bfs(&g, 3).level;
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        for parallel in [false, true] {
+            let l = frontier_bfs(&g, 3, &ctx(&tracer, &counters, parallel), LIGRA_STRATEGY);
+            assert_eq!(l, oracle, "parallel={parallel}");
+        }
+        let dense = frontier_bfs(&g, 3, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
+        assert_eq!(dense, oracle);
+    }
+
+    #[test]
+    fn dense_strategy_processes_more_edges_on_road_graphs() {
+        let g = gen::grid2d(25, 25, 0.0, 1).with_random_weights(5, 1);
+        let tracer = GraphAccessTracer::disabled();
+        let ligra_counters = WorkCounters::new();
+        let _ = frontier_sssp(&g, 0, &ctx(&tracer, &ligra_counters, false), LIGRA_STRATEGY);
+        let gemini_counters = WorkCounters::new();
+        let _ = frontier_sssp(&g, 0, &ctx(&tracer, &gemini_counters, false), IterationStrategy::DenseAlways);
+        assert!(
+            gemini_counters.snapshot().edges_processed > 2 * ligra_counters.snapshot().edges_processed,
+            "dense {} vs direction-optimizing {}",
+            gemini_counters.snapshot().edges_processed,
+            ligra_counters.snapshot().edges_processed
+        );
+    }
+
+    #[test]
+    fn ppr_mass_is_approximately_conserved() {
+        let g = gen::rmat(8, 6, 3);
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        let config = PprConfig { epsilon: 1e-5, ..Default::default() };
+        let est = frontier_ppr(&g, 1, &config, &ctx(&tracer, &counters, false), false);
+        let mass: f64 = est.iter().map(|(_, p)| p).sum();
+        assert!(mass > 0.0 && mass <= 1.0 + 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn ppr_parallel_close_to_sequential_reference() {
+        let g = gen::rmat(8, 6, 5);
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        let config = PprConfig { epsilon: 1e-6, ..Default::default() };
+        let reference = fg_seq::ppr::ppr_push(&g, 2, &config).dense(g.num_vertices());
+        for (parallel, dense_scan) in [(false, false), (true, false), (false, true)] {
+            let est = frontier_ppr(&g, 2, &config, &ctx(&tracer, &counters, parallel), dense_scan);
+            let mut dense = vec![0.0; g.num_vertices()];
+            for (v, p) in est {
+                dense[v as usize] = p;
+            }
+            let l1: f64 = dense.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).sum();
+            assert!(l1 < 0.05, "parallel={parallel} dense={dense_scan} l1={l1}");
+        }
+    }
+
+    #[test]
+    fn ppr_seed_dominates() {
+        let g = gen::grid2d(10, 10, 0.0, 1);
+        let tracer = GraphAccessTracer::disabled();
+        let counters = WorkCounters::new();
+        let config = PprConfig { epsilon: 1e-6, ..Default::default() };
+        let est = frontier_ppr(&g, 55, &config, &ctx(&tracer, &counters, true), false);
+        let best = est.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        assert_eq!(best.0, 55);
+    }
+}

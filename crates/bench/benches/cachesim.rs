@@ -1,0 +1,43 @@
+//! Criterion benchmark for the LLC simulator substrate: overhead per simulated
+//! access for sequential scans vs random access patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_cachesim::{AccessKind, CacheConfig, CacheSim, GraphAccessTracer};
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(20);
+    group.bench_function("sequential_scan_64k_accesses", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(CacheConfig::scaled_llc());
+            for i in 0..65_536u64 {
+                sim.access(i * 64, AccessKind::Read);
+            }
+            sim.stats()
+        })
+    });
+    group.bench_function("random_access_64k_accesses", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(CacheConfig::scaled_llc());
+            let mut x = 0x12345u64;
+            for _ in 0..65_536u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sim.access(x % (1 << 30), AccessKind::Read);
+            }
+            sim.stats()
+        })
+    });
+    group.bench_function("tracer_adjacency_scans", |b| {
+        b.iter(|| {
+            let tracer = GraphAccessTracer::new(CacheConfig::scaled_llc());
+            for v in 0..8_192u64 {
+                tracer.adjacency_scan(v * 16, 16);
+            }
+            tracer.stats()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark behind Table 5: consolidating buffered operations
+//! by sorting vs scanning, with and without bucketing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkgraph_core::buffer::{consolidate, ConsolidationMethod, PartitionBuffer};
+use forkgraph_core::Operation;
+
+fn make_ops(count: usize, queries: usize) -> Vec<Operation<u64>> {
+    (0..count)
+        .map(|i| Operation::new(((i * 2654435761) % queries) as u32, i as u32, i as u64, (i as u64 * 37) % 997))
+        .collect()
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let ops = make_ops(50_000, 128);
+    let mut group = c.benchmark_group("consolidation");
+    group.sample_size(20);
+    for method in [ConsolidationMethod::Sort, ConsolidationMethod::Scan] {
+        group.bench_with_input(BenchmarkId::new("flat-buffer", format!("{method:?}")), &method, |b, &m| {
+            b.iter(|| consolidate(&ops, 128, m))
+        });
+        for buckets in [16usize, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{buckets}-buckets"), format!("{method:?}")),
+                &method,
+                |b, &m| {
+                    b.iter(|| {
+                        let mut buffer = PartitionBuffer::new(buckets);
+                        buffer.push_batch(ops.iter().copied());
+                        buffer.drain_consolidated(m)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consolidation);
+criterion_main!(benches);

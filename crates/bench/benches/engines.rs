@@ -1,0 +1,41 @@
+//! Criterion benchmark behind Figure 9: ForkGraph vs the baseline engines on a
+//! small multi-source SSSP batch (the LL/BC workload shape).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_baselines::fpp::{ExecutionScheme, FppDriver, QueryKind};
+use fg_baselines::{GeminiEngine, GraphItEngine, LigraEngine};
+use fg_graph::datasets;
+use fg_graph::partition::PartitionConfig;
+use fg_graph::partitioned::PartitionedGraph;
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let graph = Arc::new(datasets::CA.generate_weighted(0.03));
+    let sources: Vec<u32> = fg_apps::sample_sources(graph.num_vertices(), 8, 7);
+    let pg = PartitionedGraph::build(&graph, PartitionConfig::llc_sized(128 * 1024));
+
+    let mut group = c.benchmark_group("sssp_batch_road_graph");
+    group.sample_size(10);
+
+    group.bench_function("forkgraph", |b| {
+        b.iter(|| ForkGraphEngine::new(&pg, EngineConfig::default()).run_sssp(&sources))
+    });
+    group.bench_function("ligra_t1", |b| {
+        let driver = FppDriver::new(LigraEngine::new(), Arc::clone(&graph));
+        b.iter(|| driver.run(&QueryKind::Sssp, &sources, ExecutionScheme::InterQuery))
+    });
+    group.bench_function("gemini_t1", |b| {
+        let driver = FppDriver::new(GeminiEngine::new(), Arc::clone(&graph));
+        b.iter(|| driver.run(&QueryKind::Sssp, &sources, ExecutionScheme::InterQuery))
+    });
+    group.bench_function("graphit_tcores", |b| {
+        let driver = FppDriver::new(GraphItEngine::new(), Arc::clone(&graph));
+        b.iter(|| driver.run(&QueryKind::Sssp, &sources, ExecutionScheme::IntraQuery))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

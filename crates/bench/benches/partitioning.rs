@@ -1,0 +1,29 @@
+//! Criterion benchmark behind the §C.3 partition-method comparison: cost of
+//! the partitioners themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_graph::datasets;
+use fg_graph::partition::{PartitionConfig, PartitionMethod, PartitionPlan};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let road = datasets::CA.scaled(0.2);
+    let social = datasets::LJ.scaled(0.15);
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    for (graph, label) in [(&road, "road"), (&social, "social")] {
+        for method in PartitionMethod::all() {
+            group.bench_with_input(
+                BenchmarkId::new(label, method.name()),
+                &method,
+                |b, &m| {
+                    let config = PartitionConfig::with_partitions(m, 16);
+                    b.iter(|| PartitionPlan::compute(graph, &config))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

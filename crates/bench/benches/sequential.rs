@@ -1,0 +1,27 @@
+//! Criterion benchmark for the sequential kernels ForkGraph builds on
+//! (the "fastest known sequential algorithms" of Section 4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_graph::datasets;
+use fg_seq::ppr::PprConfig;
+
+fn bench_sequential(c: &mut Criterion) {
+    let road = datasets::CA.generate_weighted(0.05);
+    let social = datasets::LJ.scaled(0.08);
+    let mut group = c.benchmark_group("sequential_kernels");
+    group.sample_size(20);
+    group.bench_function("dijkstra_road", |b| b.iter(|| fg_seq::dijkstra::dijkstra(&road, 0)));
+    group.bench_function("delta_stepping_road", |b| {
+        b.iter(|| fg_seq::delta_stepping::delta_stepping(&road, 0, 8))
+    });
+    group.bench_function("bfs_social", |b| b.iter(|| fg_seq::bfs::bfs(&social, 0)));
+    group.bench_function("dfs_social", |b| b.iter(|| fg_seq::dfs::dfs(&social, 0)));
+    group.bench_function("ppr_push_social", |b| {
+        let config = PprConfig { epsilon: 1e-5, ..Default::default() };
+        b.iter(|| fg_seq::ppr::ppr_push(&social, 1, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Shared experiment runner: executes one (system, scheme, application,
+//! dataset) combination and returns its [`Measurement`].
+
+use std::sync::Arc;
+
+use fg_baselines::fpp::{ExecutionScheme, FppDriver, QueryKind};
+use fg_baselines::{GeminiEngine, GpsEngine, GraphItEngine, LigraEngine};
+use fg_cachesim::CacheConfig;
+use fg_graph::partition::PartitionConfig;
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::{CsrGraph, VertexId};
+use fg_metrics::Measurement;
+use fg_seq::ppr::PprConfig;
+use forkgraph_core::{EngineConfig, ForkGraphEngine, YieldPolicy};
+
+/// The simulated LLC used throughout the harness (scaled from the paper's
+/// 13.75 MiB to match the scaled datasets).
+pub fn scaled_llc() -> CacheConfig {
+    CacheConfig { capacity_bytes: 256 * 1024, line_bytes: 64, associativity: 16 }
+}
+
+/// The systems compared in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    /// Ligra-like engine.
+    Ligra,
+    /// Gemini-like engine.
+    Gemini,
+    /// GraphIt-like engine.
+    GraphIt,
+    /// ForkGraph.
+    ForkGraph,
+}
+
+impl System {
+    /// The three baseline systems.
+    pub fn baselines() -> [System; 3] {
+        [System::Ligra, System::Gemini, System::GraphIt]
+    }
+
+    /// All four systems.
+    pub fn all() -> [System; 4] {
+        [System::Ligra, System::Gemini, System::GraphIt, System::ForkGraph]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Ligra => "Ligra",
+            System::Gemini => "Gemini",
+            System::GraphIt => "GraphIt",
+            System::ForkGraph => "ForkGraph",
+        }
+    }
+}
+
+/// An FPP workload: the query kind plus its source vertices.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Query kind (SSSP / BFS / PPR).
+    pub kind: QueryKind,
+    /// Source vertices (one query each).
+    pub sources: Vec<VertexId>,
+}
+
+impl Workload {
+    /// An SSSP workload (used by BC and LL).
+    pub fn sssp(sources: Vec<VertexId>) -> Self {
+        Workload { kind: QueryKind::Sssp, sources }
+    }
+
+    /// A BFS workload.
+    pub fn bfs(sources: Vec<VertexId>) -> Self {
+        Workload { kind: QueryKind::Bfs, sources }
+    }
+
+    /// A PPR workload (used by NCP).
+    pub fn ppr(sources: Vec<VertexId>, config: PprConfig) -> Self {
+        Workload { kind: QueryKind::Ppr(config), sources }
+    }
+}
+
+/// Run `workload` on a baseline system under `scheme`.
+pub fn run_baseline(
+    system: System,
+    graph: &Arc<CsrGraph>,
+    workload: &Workload,
+    scheme: ExecutionScheme,
+    cache: Option<CacheConfig>,
+) -> Measurement {
+    fn drive<E: GpsEngine>(
+        engine: E,
+        graph: &Arc<CsrGraph>,
+        workload: &Workload,
+        scheme: ExecutionScheme,
+        cache: Option<CacheConfig>,
+    ) -> Measurement {
+        let mut driver = FppDriver::new(engine, Arc::clone(graph));
+        if let Some(c) = cache {
+            driver = driver.with_cache(c);
+        }
+        driver.run(&workload.kind, &workload.sources, scheme).measurement
+    }
+    match system {
+        System::Ligra => drive(LigraEngine::new(), graph, workload, scheme, cache),
+        System::Gemini => drive(GeminiEngine::new(), graph, workload, scheme, cache),
+        System::GraphIt => drive(GraphItEngine::new(), graph, workload, scheme, cache),
+        System::ForkGraph => panic!("use run_forkgraph for ForkGraph"),
+    }
+}
+
+/// Run `workload` on ForkGraph over `llc_bytes`-sized partitions.
+pub fn run_forkgraph(
+    graph: &CsrGraph,
+    workload: &Workload,
+    llc_bytes: usize,
+    mut config: EngineConfig,
+    cache: Option<CacheConfig>,
+) -> Measurement {
+    let pg = PartitionedGraph::build(graph, PartitionConfig::llc_sized(llc_bytes));
+    if let Some(c) = cache {
+        config = config.with_cache(c);
+    }
+    let engine = ForkGraphEngine::new(&pg, config);
+    match &workload.kind {
+        QueryKind::Sssp => engine.run_sssp(&workload.sources).measurement,
+        QueryKind::Bfs => engine.run_bfs(&workload.sources).measurement,
+        QueryKind::Ppr(ppr) => engine.run_ppr(&workload.sources, ppr).measurement,
+    }
+}
+
+/// The ForkGraph engine configuration used for PPR/NCP workloads (yielding
+/// heuristic 1 with a 100µ budget, Section 6.4 of the paper).
+pub fn forkgraph_ppr_config() -> EngineConfig {
+    EngineConfig::default().with_yield_policy(YieldPolicy::EdgeBudgetAuto { factor: 100.0 })
+}
+
+/// The ForkGraph engine configuration used for SSSP/BFS workloads (BC, LL).
+pub fn forkgraph_sssp_config() -> EngineConfig {
+    EngineConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::gen;
+
+    #[test]
+    fn baseline_and_forkgraph_runners_produce_measurements() {
+        let graph = Arc::new(gen::rmat(8, 5, 1).with_random_weights(6, 1));
+        let workload = Workload::sssp(vec![0, 3, 9]);
+        let base = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
+        assert!(base.work.edges_processed > 0);
+        let fork = run_forkgraph(&graph, &workload, 64 * 1024, forkgraph_sssp_config(), None);
+        assert!(fork.work.edges_processed > 0);
+        assert_eq!(fork.label, "ForkGraph");
+    }
+
+    #[test]
+    fn cache_instrumented_runs_report_cache_numbers() {
+        let graph = Arc::new(gen::rmat(8, 5, 2));
+        let workload = Workload::bfs(vec![0, 1, 2, 3]);
+        let llc = scaled_llc();
+        let base =
+            run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::InterQuery, Some(llc));
+        assert!(base.cache.unwrap().misses > 0);
+        let fork = run_forkgraph(&graph, &workload, llc.capacity_bytes, forkgraph_sssp_config(), Some(llc));
+        assert!(fork.cache.unwrap().accesses > 0);
+    }
+
+    #[test]
+    fn system_metadata() {
+        assert_eq!(System::all().len(), 4);
+        assert_eq!(System::baselines().len(), 3);
+        assert_eq!(System::ForkGraph.name(), "ForkGraph");
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic address spaces.
+//!
+//! Engines do not feed real pointers to the cache simulator (real addresses
+//! would mix simulator state with the measured working set). Instead each
+//! logical array — the CSR adjacency, one per-query distance array, a frontier
+//! bitmap, … — is registered as a [`Region`] of an [`AddressSpace`], and the
+//! engine converts `(region, element index)` pairs into disjoint synthetic
+//! addresses.
+
+/// A contiguous synthetic memory region for one logical array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    element_bytes: u64,
+    num_elements: u64,
+}
+
+impl Region {
+    /// Synthetic base address of this region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.element_bytes * self.num_elements
+    }
+
+    /// Address of element `index` (indices past the declared length extend the
+    /// region rather than wrapping, which keeps accidental overlaps impossible
+    /// because regions are spaced generously apart).
+    #[inline]
+    pub fn element_addr(&self, index: u64) -> u64 {
+        self.base + index * self.element_bytes
+    }
+
+    /// Address of a byte offset within the region.
+    #[inline]
+    pub fn byte_addr(&self, offset: u64) -> u64 {
+        self.base + offset
+    }
+}
+
+/// Allocates non-overlapping [`Region`]s.
+///
+/// Regions are aligned to a large power-of-two stride so that distinct logical
+/// arrays never share a cache line.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    next_base: std::cell::Cell<u64>,
+}
+
+/// Gap between consecutive regions: 1 GiB of synthetic address space, far
+/// larger than any scaled dataset's array.
+const REGION_ALIGN: u64 = 1 << 30;
+
+impl AddressSpace {
+    /// Create an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { next_base: std::cell::Cell::new(REGION_ALIGN) }
+    }
+
+    /// Allocate a region for an array of `num_elements` elements of
+    /// `element_bytes` each. The `tag` is only a debugging aid and does not
+    /// affect the layout.
+    pub fn region(&self, tag: u64, num_elements: u64, element_bytes: u64) -> Region {
+        let _ = tag;
+        let size = (num_elements * element_bytes).max(1);
+        let base = self.next_base.get();
+        let stride = size.div_ceil(REGION_ALIGN).max(1) * REGION_ALIGN;
+        self.next_base.set(base + stride);
+        Region { base, element_bytes: element_bytes.max(1), num_elements }
+    }
+}
+
+/// Stateless helpers to derive deterministic synthetic addresses without an
+/// [`AddressSpace`] instance; used when many threads need to agree on the same
+/// layout with no shared allocator. Region `r` owns addresses
+/// `[r * 1 GiB, (r+1) * 1 GiB)`, with multi-GiB arrays claiming subsequent
+/// slots (callers must space their region ids accordingly).
+pub mod layout {
+    /// Well-known region ids used by the engines.
+    pub mod region_ids {
+        /// CSR offsets array.
+        pub const CSR_OFFSETS: u64 = 1;
+        /// CSR adjacency (targets + weights) array.
+        pub const CSR_ADJACENCY: u64 = 2;
+        /// First per-query vertex-state region; query `q` uses `QUERY_STATE_BASE + q`.
+        pub const QUERY_STATE_BASE: u64 = 64;
+    }
+
+    /// Address of `element` (of `element_bytes` bytes) inside region `region`.
+    #[inline]
+    pub fn element_addr(region: u64, element: u64, element_bytes: u64) -> u64 {
+        region * (1 << 30) + element * element_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let space = AddressSpace::new();
+        let a = space.region(0, 1000, 8);
+        let b = space.region(1, 1000, 8);
+        assert!(a.base() + a.size_bytes() <= b.base());
+        assert_ne!(a.element_addr(999) / 64, b.element_addr(0) / 64);
+    }
+
+    #[test]
+    fn large_regions_get_extra_space() {
+        let space = AddressSpace::new();
+        let big = space.region(0, 300_000_000, 8); // ~2.2 GiB
+        let next = space.region(1, 10, 8);
+        assert!(big.base() + big.size_bytes() <= next.base());
+    }
+
+    #[test]
+    fn element_addresses_are_strided() {
+        let space = AddressSpace::new();
+        let r = space.region(0, 100, 4);
+        assert_eq!(r.element_addr(1) - r.element_addr(0), 4);
+        assert_eq!(r.byte_addr(10), r.base() + 10);
+    }
+
+    #[test]
+    fn layout_helper_separates_regions() {
+        use layout::{element_addr, region_ids};
+        let a = element_addr(region_ids::CSR_ADJACENCY, 0, 4);
+        let b = element_addr(region_ids::QUERY_STATE_BASE, 0, 8);
+        assert!(b > a);
+        assert_ne!(a / 64, b / 64);
+        // Consecutive queries land in different regions.
+        let q0 = element_addr(region_ids::QUERY_STATE_BASE, 5, 8);
+        let q1 = element_addr(region_ids::QUERY_STATE_BASE + 1, 5, 8);
+        assert!(q1 - q0 >= (1 << 30) - 64);
+    }
+}

@@ -1,0 +1,184 @@
+//! Graph-workload access tracer.
+//!
+//! A thin façade over [`SharedCacheSim`] that maps the *logical* accesses of a
+//! graph engine (adjacency scans, per-query vertex-state reads/writes) to the
+//! synthetic address layout of [`crate::address::layout`]. All engines in the
+//! workspace — the baseline GPS reimplementations and ForkGraph itself — report
+//! their accesses through this type, so their simulated LLC numbers are
+//! directly comparable.
+//!
+//! When constructed with [`GraphAccessTracer::disabled`] every call is a no-op,
+//! which keeps the tracer off the critical path of un-instrumented runs.
+
+use crate::address::layout::{element_addr, region_ids};
+use crate::cache::{AccessKind, CacheConfig, CacheStats, SharedCacheSim};
+
+/// Traces the memory accesses of a graph engine into a shared simulated LLC.
+#[derive(Clone, Debug, Default)]
+pub struct GraphAccessTracer {
+    cache: Option<SharedCacheSim>,
+    line_bytes: u64,
+}
+
+impl GraphAccessTracer {
+    /// A tracer that records into a fresh shared cache of the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        GraphAccessTracer { line_bytes: config.line_bytes as u64, cache: Some(SharedCacheSim::new(config)) }
+    }
+
+    /// A disabled tracer: every call is a no-op.
+    pub fn disabled() -> Self {
+        GraphAccessTracer { cache: None, line_bytes: 64 }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Record a scan of a vertex's adjacency list.
+    ///
+    /// `adjacency_offset` is the vertex's starting index in the CSR target
+    /// array (see `CsrGraph::adjacency_offset`), `degree` the number of
+    /// neighbours scanned. One access is issued per cache line covered, plus
+    /// one access to the offsets array.
+    #[inline]
+    pub fn adjacency_scan(&self, adjacency_offset: u64, degree: usize) {
+        if let Some(cache) = &self.cache {
+            cache.access(element_addr(region_ids::CSR_OFFSETS, adjacency_offset, 8), AccessKind::Read);
+            if degree == 0 {
+                return;
+            }
+            let start = element_addr(region_ids::CSR_ADJACENCY, adjacency_offset, 8);
+            let bytes = degree as u64 * 8; // target id + weight
+            let first = start / self.line_bytes;
+            let last = (start + bytes - 1) / self.line_bytes;
+            let mut addrs = Vec::with_capacity((last - first + 1) as usize);
+            for line in first..=last {
+                addrs.push(line * self.line_bytes);
+            }
+            cache.access_batch(&addrs, AccessKind::Read);
+        }
+    }
+
+    /// Record a read of query `query`'s per-vertex state at `vertex`.
+    #[inline]
+    pub fn state_read(&self, query: usize, vertex: u64) {
+        if let Some(cache) = &self.cache {
+            cache.access(
+                element_addr(region_ids::QUERY_STATE_BASE + query as u64, vertex, 8),
+                AccessKind::Read,
+            );
+        }
+    }
+
+    /// Record a write of query `query`'s per-vertex state at `vertex`.
+    #[inline]
+    pub fn state_write(&self, query: usize, vertex: u64) {
+        if let Some(cache) = &self.cache {
+            cache.access(
+                element_addr(region_ids::QUERY_STATE_BASE + query as u64, vertex, 8),
+                AccessKind::Write,
+            );
+        }
+    }
+
+    /// Record a batch of state reads for one query (single lock acquisition).
+    pub fn state_read_batch(&self, query: usize, vertices: &[u64]) {
+        if let Some(cache) = &self.cache {
+            let addrs: Vec<u64> = vertices
+                .iter()
+                .map(|&v| element_addr(region_ids::QUERY_STATE_BASE + query as u64, v, 8))
+                .collect();
+            cache.access_batch(&addrs, AccessKind::Read);
+        }
+    }
+
+    /// Counters accumulated so far (zeroes when disabled).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Reset the counters (resident lines preserved).
+    pub fn reset_stats(&self) {
+        if let Some(cache) = &self.cache {
+            cache.reset_stats();
+        }
+    }
+
+    /// Drop resident lines (counters preserved).
+    pub fn flush(&self) {
+        if let Some(cache) = &self.cache {
+            cache.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = GraphAccessTracer::disabled();
+        t.adjacency_scan(0, 100);
+        t.state_read(0, 5);
+        t.state_write(3, 5);
+        assert!(!t.is_enabled());
+        assert_eq!(t.stats().accesses, 0);
+    }
+
+    #[test]
+    fn adjacency_scan_touches_one_line_per_64_bytes() {
+        let t = GraphAccessTracer::new(CacheConfig::tiny(64 * 1024));
+        t.adjacency_scan(0, 16); // 128 bytes → 2 lines + 1 offsets access
+        assert_eq!(t.stats().accesses, 3);
+        t.adjacency_scan(0, 0);
+        assert_eq!(t.stats().accesses, 4); // offsets access only
+    }
+
+    #[test]
+    fn repeated_state_access_hits_after_first_touch() {
+        let t = GraphAccessTracer::new(CacheConfig::tiny(64 * 1024));
+        t.state_write(2, 10);
+        t.state_read(2, 10);
+        t.state_read(2, 11); // same line (8-byte elements, 64-byte lines)
+        let s = t.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn different_queries_use_disjoint_lines() {
+        let t = GraphAccessTracer::new(CacheConfig::tiny(64 * 1024));
+        t.state_read(0, 0);
+        t.state_read(1, 0);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn batch_reads_match_individual_reads() {
+        let a = GraphAccessTracer::new(CacheConfig::tiny(4 * 1024));
+        let b = GraphAccessTracer::new(CacheConfig::tiny(4 * 1024));
+        let vs: Vec<u64> = (0..100).collect();
+        a.state_read_batch(0, &vs);
+        for &v in &vs {
+            b.state_read(0, v);
+        }
+        assert_eq!(a.stats().misses, b.stats().misses);
+        assert_eq!(a.stats().accesses, b.stats().accesses);
+    }
+
+    #[test]
+    fn reset_and_flush() {
+        let t = GraphAccessTracer::new(CacheConfig::tiny(4 * 1024));
+        t.state_read(0, 0);
+        t.reset_stats();
+        assert_eq!(t.stats().accesses, 0);
+        t.state_read(0, 0); // still resident → hit
+        assert_eq!(t.stats().hits, 1);
+        t.flush();
+        t.state_read(0, 0);
+        assert_eq!(t.stats().misses, 1);
+    }
+}

@@ -1,0 +1,614 @@
+//! The ForkGraph engine: Algorithm 2 of the paper.
+//!
+//! ```text
+//! InitBuffers(P, Q)
+//! while at least one buffer has operations:
+//!     Pc <- ScheduleNextPart()          (inter-partition scheduling, §5.2)
+//!     IntraPartProcess(Pc):             (intra-partition processing, §4)
+//!         consolidate operations per query
+//!         parallel_for_each query q:
+//!             process q's operations sequentially in priority order,
+//!             yielding early per the yield policy (§5.1)
+//!         send operations to neighbour partitions in batches
+//! ```
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use fg_cachesim::{CacheConfig, GraphAccessTracer};
+use fg_graph::partition::PartitionId;
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::{CsrGraph, Dist, VertexId};
+use fg_metrics::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch, WorkCounters, WorkSnapshot};
+use fg_seq::ppr::PprConfig;
+use fg_seq::random_walk::RandomWalkConfig;
+
+use crate::buffer::{ConsolidationMethod, PartitionBuffer};
+use crate::kernel::FppKernel;
+use crate::kernels::{BfsKernel, DfsKernel, PprKernel, RandomWalkKernel, SsspKernel};
+use crate::operation::{HeapEntry, Operation};
+use crate::sched::{Scheduler, SchedulingPolicy};
+use crate::yield_policy::YieldPolicy;
+
+/// Cumulative optimisation levels used in the ablation study (Figure 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AblationLevel {
+    /// "+buffer": buffered, partition-at-a-time execution only (FIFO
+    /// scheduling, no per-query consolidation ordering, no yielding).
+    BufferOnly,
+    /// "+consolidation": adds query-centric consolidation with the priority
+    /// functor ordering operations within a query.
+    Consolidation,
+    /// "+priority scheduling": adds priority-based inter-partition scheduling.
+    PriorityScheduling,
+    /// "+yielding": the full system.
+    Full,
+}
+
+impl AblationLevel {
+    /// All levels in cumulative order.
+    pub fn all() -> [AblationLevel; 4] {
+        [
+            AblationLevel::BufferOnly,
+            AblationLevel::Consolidation,
+            AblationLevel::PriorityScheduling,
+            AblationLevel::Full,
+        ]
+    }
+
+    /// Label used in the Figure 11 report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AblationLevel::BufferOnly => "+buffer",
+            AblationLevel::Consolidation => "+consolidation",
+            AblationLevel::PriorityScheduling => "+priority scheduling",
+            AblationLevel::Full => "+yielding",
+        }
+    }
+}
+
+/// Configuration of a [`ForkGraphEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Inter-partition scheduling policy (§5.2).
+    pub scheduling: SchedulingPolicy,
+    /// Yielding policy (§5.1).
+    pub yield_policy: YieldPolicy,
+    /// Whether query-centric consolidation orders each query's operations by
+    /// the priority functor (disabled only for the "+buffer" ablation).
+    pub consolidate: bool,
+    /// Number of buckets per partition buffer (K of Appendix B.1).
+    pub num_buckets: usize,
+    /// Consolidation method used when draining buffers.
+    pub consolidation_method: ConsolidationMethod,
+    /// Simulated LLC geometry; `None` disables cache simulation.
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheduling: SchedulingPolicy::Priority,
+            yield_policy: YieldPolicy::default(),
+            consolidate: true,
+            num_buckets: 64,
+            consolidation_method: ConsolidationMethod::Sort,
+            cache: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration corresponding to one cumulative ablation level.
+    pub fn for_ablation(level: AblationLevel) -> Self {
+        let base = EngineConfig::default();
+        match level {
+            AblationLevel::BufferOnly => EngineConfig {
+                scheduling: SchedulingPolicy::Fifo,
+                yield_policy: YieldPolicy::None,
+                consolidate: false,
+                ..base
+            },
+            AblationLevel::Consolidation => EngineConfig {
+                scheduling: SchedulingPolicy::Fifo,
+                yield_policy: YieldPolicy::None,
+                consolidate: true,
+                ..base
+            },
+            AblationLevel::PriorityScheduling => EngineConfig {
+                scheduling: SchedulingPolicy::Priority,
+                yield_policy: YieldPolicy::None,
+                consolidate: true,
+                ..base
+            },
+            AblationLevel::Full => base,
+        }
+    }
+
+    /// Enable cache simulation.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Override the scheduling policy.
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Override the yielding policy.
+    pub fn with_yield_policy(mut self, yield_policy: YieldPolicy) -> Self {
+        self.yield_policy = yield_policy;
+        self
+    }
+}
+
+/// Result of running an FPP batch through ForkGraph.
+#[derive(Clone, Debug)]
+pub struct ForkGraphRunResult<S> {
+    /// Final per-query states (the query results), in source order.
+    pub per_query: Vec<S>,
+    /// Timing, work, cache, and memory measurement of the batch.
+    pub measurement: Measurement,
+}
+
+impl<S> ForkGraphRunResult<S> {
+    /// Work counters of the run.
+    pub fn work(&self) -> &WorkSnapshot {
+        &self.measurement.work
+    }
+}
+
+/// Outcome of one query's processing during one partition visit.
+struct VisitOutcome<V> {
+    query: u32,
+    /// Operations yielded or left unprocessed; they return to the partition's
+    /// buffer.
+    leftover: Vec<Operation<V>>,
+    /// Operations targeting other partitions, sent in batches after the visit.
+    remote: Vec<(PartitionId, Operation<V>)>,
+}
+
+/// The ForkGraph execution engine over an LLC-partitioned graph.
+pub struct ForkGraphEngine<'g> {
+    pg: &'g PartitionedGraph,
+    config: EngineConfig,
+}
+
+impl<'g> ForkGraphEngine<'g> {
+    /// Create an engine over `pg` with the given configuration.
+    pub fn new(pg: &'g PartitionedGraph, config: EngineConfig) -> Self {
+        ForkGraphEngine { pg, config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The partitioned graph this engine runs over.
+    pub fn partitioned_graph(&self) -> &PartitionedGraph {
+        self.pg
+    }
+
+    /// Run a batch of queries of kernel `K`, one from each source vertex.
+    pub fn run<K: FppKernel>(&self, kernel: &K, sources: &[VertexId]) -> ForkGraphRunResult<K::State> {
+        let graph = self.pg.graph();
+        let num_partitions = self.pg.num_partitions();
+        let num_queries = sources.len();
+        let tracer = match self.config.cache {
+            Some(config) => GraphAccessTracer::new(config),
+            None => GraphAccessTracer::disabled(),
+        };
+        let counters = WorkCounters::new();
+        let watch = Stopwatch::start();
+
+        let mut buffers: Vec<PartitionBuffer<K::Value>> =
+            (0..num_partitions).map(|_| PartitionBuffer::new(self.config.num_buckets)).collect();
+        let states: Vec<Mutex<K::State>> =
+            (0..num_queries).map(|_| Mutex::new(kernel.init_state(graph))).collect();
+        let mut scheduler = Scheduler::new(self.config.scheduling);
+
+        // InitBuffers(P, Q): seed every query at its source.
+        for (q, &source) in sources.iter().enumerate() {
+            let (value, priority) = kernel.source_op(source);
+            let p = self.pg.partition_of(source) as usize;
+            if buffers[p].is_empty() {
+                scheduler.stamp(&mut buffers[p]);
+            }
+            buffers[p].push(Operation::new(q as u32, source, value, priority));
+            counters.add_buffered(1);
+        }
+
+        // Main loop: schedule a partition, drain and process its buffer.
+        while let Some(p) = scheduler.next(&buffers) {
+            counters.add_partition_visit();
+            let p_usize = p as usize;
+            let partition_edges = self.pg.partition(p).num_edges() as u64;
+
+            let groups: Vec<(u32, Vec<Operation<K::Value>>)> = if self.config.consolidate {
+                buffers[p_usize].drain_consolidated(self.config.consolidation_method)
+            } else {
+                group_preserving_order(buffers[p_usize].drain_unconsolidated())
+            };
+
+            // parallel_for_each query q in the partition's buffer.
+            let outcomes: Vec<VisitOutcome<K::Value>> = if groups.len() > 1 {
+                groups
+                    .into_par_iter()
+                    .map(|(q, ops)| {
+                        let mut state = states[q as usize].lock();
+                        self.process_query_visit(
+                            kernel,
+                            graph,
+                            p,
+                            q,
+                            ops,
+                            &mut state,
+                            partition_edges,
+                            num_queries,
+                            &tracer,
+                            &counters,
+                        )
+                    })
+                    .collect()
+            } else {
+                groups
+                    .into_iter()
+                    .map(|(q, ops)| {
+                        let mut state = states[q as usize].lock();
+                        self.process_query_visit(
+                            kernel,
+                            graph,
+                            p,
+                            q,
+                            ops,
+                            &mut state,
+                            partition_edges,
+                            num_queries,
+                            &tracer,
+                            &counters,
+                        )
+                    })
+                    .collect()
+            };
+
+            // Send operations to neighbour partitions in batches (Line 16) and
+            // return yielded operations to this partition's buffer.
+            for outcome in outcomes {
+                debug_assert!((outcome.query as usize) < num_queries);
+                for op in outcome.leftover {
+                    if buffers[p_usize].is_empty() {
+                        scheduler.stamp(&mut buffers[p_usize]);
+                    }
+                    buffers[p_usize].push(op);
+                    counters.add_buffered(1);
+                }
+                for (target, op) in outcome.remote {
+                    let t = target as usize;
+                    if buffers[t].is_empty() {
+                        scheduler.stamp(&mut buffers[t]);
+                    }
+                    buffers[t].push(op);
+                    counters.add_buffered(1);
+                }
+            }
+        }
+
+        counters.add_queries_completed(num_queries as u64);
+        let per_query: Vec<K::State> = states.into_iter().map(|m| m.into_inner()).collect();
+        let wall_time: Duration = watch.elapsed();
+        let cache_stats = tracer.stats();
+        let measurement = Measurement {
+            label: "ForkGraph".to_string(),
+            wall_time,
+            work: counters.snapshot(),
+            cache: self.config.cache.map(|_| CacheNumbers {
+                accesses: cache_stats.accesses,
+                loads: cache_stats.loads,
+                misses: cache_stats.misses,
+            }),
+            memory: Some(MemoryEstimate {
+                graph_bytes: graph.total_size_bytes() as u64,
+                query_state_bytes: (num_queries * graph.num_vertices() * 8) as u64,
+                auxiliary_bytes: (num_partitions * self.config.num_buckets * 16) as u64,
+            }),
+        };
+        ForkGraphRunResult { per_query, measurement }
+    }
+
+    /// Process one query's consolidated operations within one partition visit.
+    #[allow(clippy::too_many_arguments)]
+    fn process_query_visit<K: FppKernel>(
+        &self,
+        kernel: &K,
+        graph: &CsrGraph,
+        partition: PartitionId,
+        query: u32,
+        ops: Vec<Operation<K::Value>>,
+        state: &mut K::State,
+        partition_edges: u64,
+        num_queries: usize,
+        tracer: &GraphAccessTracer,
+        counters: &WorkCounters,
+    ) -> VisitOutcome<K::Value> {
+        let mut remote: Vec<(PartitionId, Operation<K::Value>)> = Vec::new();
+        let mut leftover: Vec<Operation<K::Value>> = Vec::new();
+        let mut checker = self.config.yield_policy.for_partition(partition_edges, num_queries);
+        let mut yielded = false;
+
+        // With consolidation the query's operations are processed in priority
+        // order (a per-query priority queue); without it, in arrival order.
+        let mut heap: std::collections::BinaryHeap<HeapEntry<K::Value>> =
+            std::collections::BinaryHeap::new();
+        let mut fifo: std::collections::VecDeque<Operation<K::Value>> =
+            std::collections::VecDeque::new();
+        if self.config.consolidate {
+            heap.extend(ops.into_iter().map(|op| HeapEntry { op }));
+        } else {
+            fifo.extend(ops);
+        }
+
+        loop {
+            let op = if self.config.consolidate {
+                heap.pop().map(|e| e.op)
+            } else {
+                fifo.pop_front()
+            };
+            let Some(op) = op else { break };
+
+            if yielded {
+                leftover.push(op);
+                continue;
+            }
+            if checker.should_yield(op.priority) {
+                yielded = true;
+                counters.add_yield();
+                leftover.push(op);
+                continue;
+            }
+
+            let vertex = op.vertex;
+            let mut emitted_local = 0usize;
+            let edges = kernel.process(graph, state, vertex, op.value, &mut |t, value, priority| {
+                let new_op = Operation::new(query, t, value, priority);
+                let target_partition = self.pg.partition_of(t);
+                if target_partition == partition {
+                    if self.config.consolidate {
+                        heap.push(HeapEntry { op: new_op });
+                    } else {
+                        fifo.push_back(new_op);
+                    }
+                    emitted_local += 1;
+                } else {
+                    remote.push((target_partition, new_op));
+                }
+            });
+            counters.add_operations(1);
+            counters.add_edges(edges);
+            checker.record_edges(edges);
+            let _ = emitted_local;
+
+            if tracer.is_enabled() {
+                if edges > 0 {
+                    tracer.adjacency_scan(graph.adjacency_offset(vertex), graph.out_degree(vertex));
+                    tracer.state_write(query as usize, vertex as u64);
+                    let ids: Vec<u64> =
+                        graph.out_neighbors(vertex).iter().map(|&v| v as u64).collect();
+                    tracer.state_read_batch(query as usize, &ids);
+                } else {
+                    tracer.state_read(query as usize, vertex as u64);
+                }
+            }
+            if edges == 0 {
+                counters.add_pruned(1);
+            }
+        }
+
+        VisitOutcome { query, leftover, remote }
+    }
+
+    // -- Convenience runners for the built-in kernels ------------------------
+
+    /// Run SSSP queries from every source; returns per-query distance arrays.
+    pub fn run_sssp(&self, sources: &[VertexId]) -> ForkGraphRunResult<Vec<Dist>> {
+        self.run(&SsspKernel, sources)
+    }
+
+    /// Run BFS queries from every source; returns per-query level arrays.
+    pub fn run_bfs(&self, sources: &[VertexId]) -> ForkGraphRunResult<Vec<u32>> {
+        self.run(&BfsKernel, sources)
+    }
+
+    /// Run PPR queries from every seed with the given parameters.
+    pub fn run_ppr(
+        &self,
+        seeds: &[VertexId],
+        config: &PprConfig,
+    ) -> ForkGraphRunResult<crate::kernels::PprState> {
+        self.run(&PprKernel::new(*config), seeds)
+    }
+
+    /// Run DFS-flavoured reachability queries from every source.
+    pub fn run_dfs(&self, sources: &[VertexId]) -> ForkGraphRunResult<crate::kernels::dfs::DfsState> {
+        self.run(&DfsKernel, sources)
+    }
+
+    /// Run random-walk queries from every source.
+    pub fn run_random_walks(
+        &self,
+        sources: &[VertexId],
+        config: &RandomWalkConfig,
+    ) -> ForkGraphRunResult<crate::kernels::RwState> {
+        self.run(&RandomWalkKernel::new(*config), sources)
+    }
+}
+
+/// Group operations by query while preserving their arrival order within each
+/// query (used when consolidation ordering is disabled).
+fn group_preserving_order<V: Copy>(ops: Vec<Operation<V>>) -> Vec<(u32, Vec<Operation<V>>)> {
+    let mut groups: Vec<(u32, Vec<Operation<V>>)> = Vec::new();
+    for op in ops {
+        match groups.iter_mut().find(|(q, _)| *q == op.query) {
+            Some((_, list)) => list.push(op),
+            None => groups.push((op.query, vec![op])),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::partition::{PartitionConfig, PartitionMethod};
+    use fg_graph::{datasets, gen};
+
+    fn partitioned(graph: &CsrGraph, parts: usize) -> PartitionedGraph {
+        PartitionedGraph::build(
+            graph,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, parts),
+        )
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_across_configs() {
+        let g = gen::erdos_renyi(300, 2400, 11).with_random_weights(8, 11);
+        let pg = partitioned(&g, 6);
+        let sources: Vec<VertexId> = vec![0, 7, 33, 150];
+        let oracle: Vec<Vec<Dist>> =
+            sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).dist).collect();
+        for level in AblationLevel::all() {
+            let engine = ForkGraphEngine::new(&pg, EngineConfig::for_ablation(level));
+            let result = engine.run_sssp(&sources);
+            assert_eq!(result.per_query, oracle, "{level:?}");
+        }
+        for policy in SchedulingPolicy::all() {
+            let engine = ForkGraphEngine::new(&pg, EngineConfig::default().with_scheduling(policy));
+            let result = engine.run_sssp(&sources);
+            assert_eq!(result.per_query, oracle, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sssp_with_value_range_yielding_is_exact() {
+        let g = datasets::CA.generate_weighted(0.05);
+        let pg = partitioned(&g, 8);
+        let sources: Vec<VertexId> = vec![1, 50, 500];
+        let oracle: Vec<Vec<Dist>> =
+            sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).dist).collect();
+        let config = EngineConfig::default().with_yield_policy(YieldPolicy::ValueRange { delta: 8 });
+        let result = ForkGraphEngine::new(&pg, config).run_sssp(&sources);
+        assert_eq!(result.per_query, oracle);
+        assert!(result.work().yields > 0, "value-range yielding should trigger on a road graph");
+    }
+
+    #[test]
+    fn bfs_matches_sequential_bfs() {
+        let g = gen::rmat(9, 6, 13);
+        let pg = partitioned(&g, 5);
+        let sources: Vec<VertexId> = vec![0, 9, 100];
+        let oracle: Vec<Vec<u32>> = sources.iter().map(|&s| fg_seq::bfs::bfs(&g, s).level).collect();
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        assert_eq!(engine.run_bfs(&sources).per_query, oracle);
+    }
+
+    #[test]
+    fn ppr_results_are_close_to_sequential_reference() {
+        let g = gen::rmat(9, 6, 17);
+        let pg = partitioned(&g, 6);
+        let seeds: Vec<VertexId> = vec![3, 42];
+        let config = PprConfig { epsilon: 1e-6, ..Default::default() };
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let result = engine.run_ppr(&seeds, &config);
+        for (state, &seed) in result.per_query.iter().zip(seeds.iter()) {
+            assert!((state.total_mass() - 1.0).abs() < 1e-9);
+            let reference = fg_seq::ppr::ppr_push(&g, seed, &config).dense(g.num_vertices());
+            let l1: f64 =
+                state.estimate.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).sum();
+            assert!(l1 < 0.05, "seed {seed}: l1 {l1}");
+        }
+    }
+
+    #[test]
+    fn dfs_and_random_walk_kernels_run_end_to_end() {
+        let g = gen::rmat(8, 5, 19);
+        let pg = partitioned(&g, 4);
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let dfs = engine.run_dfs(&[0, 5]);
+        let reference = fg_seq::dfs::dfs(&g, 0);
+        let reached = dfs.per_query[0].order.iter().filter(|&&o| o != u32::MAX).count();
+        assert_eq!(reached, reference.num_reached());
+        let rw_config = RandomWalkConfig { num_walks: 4, walk_length: 8, restart_prob: 0.0, seed: 3 };
+        let rw = engine.run_random_walks(&[0, 5], &rw_config);
+        assert_eq!(rw.per_query[0].total_visits(), 4 * 9);
+    }
+
+    #[test]
+    fn work_is_within_a_constant_factor_of_sequential(){
+        // Theorem A.3: ForkGraph's work per query stays within a constant
+        // factor of Dijkstra's; the paper measures 5.2–16.7x. Use a generous
+        // bound to keep the test robust across partitionings.
+        let g = datasets::CA.generate_weighted(0.08);
+        let pg = partitioned(&g, 10);
+        let sources: Vec<VertexId> = (0..8).map(|i| (i * 97) % g.num_vertices() as u32).collect();
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let result = engine.run_sssp(&sources);
+        let sequential_edges: u64 =
+            sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).edges_processed).sum();
+        let ratio = result.work().edges_processed as f64 / sequential_edges as f64;
+        assert!(ratio < 30.0, "work ratio {ratio}");
+    }
+
+    #[test]
+    fn yielding_reduces_work_on_road_graphs() {
+        let g = datasets::CA.generate_weighted(0.05);
+        let pg = partitioned(&g, 8);
+        let sources: Vec<VertexId> = (0..6).map(|i| (i * 131) % g.num_vertices() as u32).collect();
+        let no_yield = ForkGraphEngine::new(
+            &pg,
+            EngineConfig::default().with_yield_policy(YieldPolicy::None),
+        )
+        .run_sssp(&sources);
+        let with_yield = ForkGraphEngine::new(&pg, EngineConfig::default()).run_sssp(&sources);
+        assert_eq!(no_yield.per_query, with_yield.per_query);
+        assert!(
+            with_yield.work().edges_processed <= no_yield.work().edges_processed,
+            "yielding should not increase edge work: {} vs {}",
+            with_yield.work().edges_processed,
+            no_yield.work().edges_processed
+        );
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_sequential_processing() {
+        let g = gen::rmat(8, 5, 23).with_random_weights(6, 23);
+        let pg = partitioned(&g, 1);
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let sources = vec![0, 3];
+        let result = engine.run_sssp(&sources);
+        assert_eq!(result.per_query[0], fg_seq::dijkstra::dijkstra(&g, 0).dist);
+        assert_eq!(result.work().partition_visits, 1, "one partition, one visit");
+    }
+
+    #[test]
+    fn measurement_contains_cache_and_memory_when_enabled() {
+        let g = gen::rmat(8, 5, 29).with_random_weights(6, 29);
+        let pg = partitioned(&g, 4);
+        let config = EngineConfig::default().with_cache(fg_cachesim::CacheConfig::tiny(64 * 1024));
+        let result = ForkGraphEngine::new(&pg, config).run_sssp(&[0, 1, 2]);
+        let cache = result.measurement.cache.unwrap();
+        assert!(cache.accesses > 0 && cache.misses > 0);
+        assert!(result.measurement.memory.unwrap().total_bytes() > 0);
+        assert_eq!(result.measurement.label, "ForkGraph");
+    }
+
+    #[test]
+    fn ablation_labels() {
+        assert_eq!(AblationLevel::all().len(), 4);
+        assert_eq!(AblationLevel::BufferOnly.label(), "+buffer");
+        assert_eq!(AblationLevel::Full.label(), "+yielding");
+    }
+}

@@ -1,0 +1,52 @@
+//! The query-kernel interface of ForkGraph.
+//!
+//! A kernel defines, for one query type (SSSP, BFS, PPR, …):
+//!
+//! * the per-query dense **state** (e.g. the distance array),
+//! * the **value** carried by an operation ⟨query, vertex, value⟩,
+//! * the **priority functor** mapping values to scheduling priorities (lower
+//!   priority values are processed first — shorter distances, higher
+//!   residuals),
+//! * the sequential **processing** of one operation against the state, which
+//!   may emit new operations to neighbouring vertices.
+//!
+//! The engine guarantees that a query's state is only ever accessed by one
+//! thread at a time (query-centric consolidation, Section 4.2), so kernels are
+//! written as plain sequential code with no atomics.
+
+use fg_graph::{CsrGraph, VertexId};
+
+use crate::operation::Priority;
+
+/// A fork-processing-pattern query kernel.
+pub trait FppKernel: Sync {
+    /// Payload carried by this kernel's operations.
+    type Value: Copy + Send + Sync;
+    /// Per-query state; the final state is the query's result.
+    type State: Send;
+
+    /// Query-type name ("sssp", "ppr", …).
+    fn name(&self) -> &'static str;
+
+    /// Allocate the initial per-query state.
+    fn init_state(&self, graph: &CsrGraph) -> Self::State;
+
+    /// The operation that seeds a query at its source vertex:
+    /// `(value, priority)`.
+    fn source_op(&self, source: VertexId) -> (Self::Value, Priority);
+
+    /// Process one operation at `vertex` carrying `value` against `state`.
+    ///
+    /// New operations are handed to `emit(target_vertex, value, priority)`;
+    /// the engine routes them to the right partition buffer. Returns the
+    /// number of edges processed (0 when the operation was pruned), which
+    /// feeds both the work counters and the yielding heuristics.
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        state: &mut Self::State,
+        vertex: VertexId,
+        value: Self::Value,
+        emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
+    ) -> u64;
+}

@@ -1,0 +1,86 @@
+//! BFS kernel: level-ordered traversal. The priority functor is the level
+//! (lowest level from the source first), as described in Section 4.2.
+
+use fg_graph::{CsrGraph, VertexId};
+
+use crate::kernel::FppKernel;
+use crate::operation::Priority;
+
+/// Breadth-first-search kernel producing hop levels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsKernel;
+
+impl FppKernel for BfsKernel {
+    type Value = u32;
+    type State = Vec<u32>;
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init_state(&self, graph: &CsrGraph) -> Self::State {
+        vec![u32::MAX; graph.num_vertices()]
+    }
+
+    fn source_op(&self, _source: VertexId) -> (Self::Value, Priority) {
+        (0, 0)
+    }
+
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        state: &mut Self::State,
+        vertex: VertexId,
+        value: Self::Value,
+        emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
+    ) -> u64 {
+        if value >= state[vertex as usize] {
+            return 0;
+        }
+        state[vertex as usize] = value;
+        let mut edges = 0u64;
+        for &t in graph.out_neighbors(vertex) {
+            edges += 1;
+            let level = value + 1;
+            if level < state[t as usize] {
+                emit(t, level, level as Priority);
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::gen;
+
+    #[test]
+    fn queue_driven_kernel_matches_sequential_bfs() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let g = gen::rmat(8, 5, 2);
+        let kernel = BfsKernel;
+        let mut state = kernel.init_state(&g);
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0u64, 4u32, 0u32)));
+        while let Some(Reverse((_, vertex, value))) = heap.pop() {
+            kernel.process(&g, &mut state, vertex, value, &mut |t, val, pri| {
+                heap.push(Reverse((pri, t, val)));
+            });
+        }
+        assert_eq!(state, fg_seq::bfs::bfs(&g, 4).level);
+    }
+
+    #[test]
+    fn revisits_with_equal_or_worse_levels_are_pruned() {
+        let g = gen::path(4);
+        let kernel = BfsKernel;
+        let mut state = kernel.init_state(&g);
+        let mut sink = |_: VertexId, _: u32, _: Priority| {};
+        assert!(kernel.process(&g, &mut state, 1, 1, &mut sink) > 0);
+        assert_eq!(kernel.process(&g, &mut state, 1, 1, &mut sink), 0);
+        assert_eq!(kernel.process(&g, &mut state, 1, 3, &mut sink), 0);
+        assert_eq!(state[1], 1);
+    }
+}

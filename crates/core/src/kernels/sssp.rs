@@ -1,0 +1,107 @@
+//! SSSP kernel: sequential Dijkstra-style relaxation driven by buffered
+//! operations. The priority functor is the tentative distance (shorter paths
+//! first), exactly the Dijkstra functor the paper reuses for BC and LL.
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+
+use crate::kernel::FppKernel;
+use crate::operation::Priority;
+
+/// Single-source shortest paths kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SsspKernel;
+
+impl FppKernel for SsspKernel {
+    type Value = Dist;
+    type State = Vec<Dist>;
+
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn init_state(&self, graph: &CsrGraph) -> Self::State {
+        vec![INF_DIST; graph.num_vertices()]
+    }
+
+    fn source_op(&self, _source: VertexId) -> (Self::Value, Priority) {
+        (0, 0)
+    }
+
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        state: &mut Self::State,
+        vertex: VertexId,
+        value: Self::Value,
+        emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
+    ) -> u64 {
+        if value >= state[vertex as usize] {
+            return 0; // stale or dominated operation: pruned
+        }
+        state[vertex as usize] = value;
+        let mut edges = 0u64;
+        for (t, w) in graph.out_edges(vertex) {
+            edges += 1;
+            let nd = value + w as Dist;
+            if nd < state[t as usize] {
+                emit(t, nd, nd);
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::gen;
+
+    /// Drive the kernel with a single global priority queue (no partitions):
+    /// this must behave exactly like Dijkstra's algorithm.
+    fn run_unpartitioned(graph: &CsrGraph, source: VertexId) -> Vec<Dist> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let kernel = SsspKernel;
+        let mut state = kernel.init_state(graph);
+        let mut heap = BinaryHeap::new();
+        let (v0, p0) = kernel.source_op(source);
+        heap.push(Reverse((p0, source, v0)));
+        while let Some(Reverse((_, vertex, value))) = heap.pop() {
+            kernel.process(graph, &mut state, vertex, value, &mut |t, val, pri| {
+                heap.push(Reverse((pri, t, val)));
+            });
+        }
+        state
+    }
+
+    #[test]
+    fn kernel_driven_by_a_priority_queue_equals_dijkstra() {
+        let g = gen::erdos_renyi(200, 1400, 3).with_random_weights(9, 3);
+        assert_eq!(run_unpartitioned(&g, 0), fg_seq::dijkstra::dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn stale_operations_are_pruned_without_work() {
+        let g = gen::path(5).with_random_weights(1, 0);
+        let kernel = SsspKernel;
+        let mut state = kernel.init_state(&g);
+        let mut sink = |_: VertexId, _: Dist, _: Priority| {};
+        assert!(kernel.process(&g, &mut state, 0, 0, &mut sink) > 0);
+        // Re-processing the source with a worse value does nothing.
+        assert_eq!(kernel.process(&g, &mut state, 0, 5, &mut sink), 0);
+        assert_eq!(state[0], 0);
+    }
+
+    #[test]
+    fn emitted_priorities_equal_tentative_distances() {
+        let g = gen::complete(4).with_random_weights(5, 1);
+        let kernel = SsspKernel;
+        let mut state = kernel.init_state(&g);
+        let mut emitted = Vec::new();
+        kernel.process(&g, &mut state, 0, 0, &mut |t, val, pri| emitted.push((t, val, pri)));
+        assert!(!emitted.is_empty());
+        for (_, val, pri) in emitted {
+            assert_eq!(val, pri);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # forkgraph-core
+//!
+//! The ForkGraph system: cache-efficient processing of **fork-processing
+//! patterns** (FPPs) — batches of independent, homogeneous graph queries
+//! launched from many source vertices on the same in-memory graph.
+//!
+//! The system implements the paper's buffered execution model:
+//!
+//! 1. The graph is divided into LLC-sized partitions
+//!    ([`fg_graph::partitioned::PartitionedGraph`]).
+//! 2. Each partition owns a multi-bucket [`buffer::PartitionBuffer`] holding
+//!    the pending operations ⟨query, vertex, value⟩ of every query.
+//! 3. The [`engine::ForkGraphEngine`] repeatedly asks the inter-partition
+//!    [`sched::Scheduler`] for the next partition, consolidates that
+//!    partition's buffered operations per query
+//!    ([`buffer::consolidate`]), and processes every query's operations with a
+//!    **sequential**, priority-ordered kernel ([`kernel::FppKernel`]) on a
+//!    dedicated thread — atomic-free, because a query's state is only ever
+//!    touched by one thread at a time.
+//! 4. A [`yield_policy::YieldPolicy`] early-terminates a query inside a
+//!    partition to avoid redundant work; operations that target other
+//!    partitions are sent to their buffers in batches when the partition visit
+//!    ends.
+//!
+//! Built-in kernels cover the query types of the paper: SSSP, BFS, DFS, PPR,
+//! and random walks ([`kernels`]). Applications (BC, NCP, LL) live in the
+//! `fg-apps` crate.
+
+pub mod buffer;
+pub mod engine;
+pub mod kernel;
+pub mod kernels;
+pub mod operation;
+pub mod sched;
+pub mod yield_policy;
+
+pub use buffer::PartitionBuffer;
+pub use engine::{AblationLevel, EngineConfig, ForkGraphEngine, ForkGraphRunResult};
+pub use kernel::FppKernel;
+pub use operation::{Operation, Priority};
+pub use sched::SchedulingPolicy;
+pub use yield_policy::YieldPolicy;

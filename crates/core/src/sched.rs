@@ -1,0 +1,203 @@
+//! Inter-partition scheduling (Section 5.2 of the paper).
+//!
+//! When a partition visit finishes, the scheduler picks the next partition with
+//! a non-empty buffer. Four policies are provided, matching Table 4A:
+//!
+//! * [`SchedulingPolicy::Random`] — an arbitrary non-empty partition,
+//! * [`SchedulingPolicy::MaxOperations`] — the partition with the most
+//!   buffered operations (GraphM-style; cache friendly but work inefficient),
+//! * [`SchedulingPolicy::Fifo`] — partitions in the order their buffers became
+//!   non-empty (the default when no priority functor is supplied),
+//! * [`SchedulingPolicy::Priority`] — the partition whose best buffered
+//!   operation has the highest priority (lowest value), the paper's default.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fg_graph::partition::PartitionId;
+
+use crate::buffer::PartitionBuffer;
+
+/// Inter-partition scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Pick an arbitrary non-empty partition.
+    Random {
+        /// RNG seed, for reproducibility.
+        seed: u64,
+    },
+    /// Pick the partition with the most buffered operations.
+    MaxOperations,
+    /// Pick partitions in the order their buffers became non-empty.
+    Fifo,
+    /// Pick the partition with the best (lowest) buffered priority.
+    Priority,
+}
+
+impl SchedulingPolicy {
+    /// All policies, for the Table 4A sweep.
+    pub fn all() -> [SchedulingPolicy; 4] {
+        [
+            SchedulingPolicy::Random { seed: 7 },
+            SchedulingPolicy::MaxOperations,
+            SchedulingPolicy::Fifo,
+            SchedulingPolicy::Priority,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicy::Random { .. } => "random",
+            SchedulingPolicy::MaxOperations => "max-operations",
+            SchedulingPolicy::Fifo => "fifo",
+            SchedulingPolicy::Priority => "priority",
+        }
+    }
+}
+
+impl Default for SchedulingPolicy {
+    fn default() -> Self {
+        SchedulingPolicy::Priority
+    }
+}
+
+/// Scheduler state: picks the next partition to process.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: SchedulingPolicy,
+    rng: SmallRng,
+    /// Monotonically increasing stamp handed to buffers as they become
+    /// non-empty, so FIFO order can be recovered.
+    next_stamp: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler with the given policy.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        let seed = match policy {
+            SchedulingPolicy::Random { seed } => seed,
+            _ => 0,
+        };
+        Scheduler { policy, rng: SmallRng::seed_from_u64(seed), next_stamp: 1 }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Stamp a buffer that just transitioned from empty to non-empty
+    /// (used by the FIFO policy).
+    pub fn stamp<V: Copy>(&mut self, buffer: &mut PartitionBuffer<V>) {
+        buffer.fifo_stamp = self.next_stamp;
+        self.next_stamp += 1;
+    }
+
+    /// Select the next partition among those with non-empty buffers.
+    /// Returns `None` when every buffer is empty (the FPP has converged).
+    pub fn next<V: Copy>(&mut self, buffers: &[PartitionBuffer<V>]) -> Option<PartitionId> {
+        let non_empty: Vec<usize> =
+            buffers.iter().enumerate().filter(|(_, b)| !b.is_empty()).map(|(i, _)| i).collect();
+        if non_empty.is_empty() {
+            return None;
+        }
+        let chosen = match self.policy {
+            SchedulingPolicy::Random { .. } => non_empty[self.rng.gen_range(0..non_empty.len())],
+            SchedulingPolicy::MaxOperations => {
+                *non_empty.iter().max_by_key(|&&i| buffers[i].len()).expect("non-empty")
+            }
+            SchedulingPolicy::Fifo => {
+                *non_empty.iter().min_by_key(|&&i| buffers[i].fifo_stamp).expect("non-empty")
+            }
+            SchedulingPolicy::Priority => {
+                *non_empty.iter().min_by_key(|&&i| buffers[i].min_priority()).expect("non-empty")
+            }
+        };
+        Some(chosen as PartitionId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::Operation;
+
+    fn buffer_with(ops: &[(u32, u64)]) -> PartitionBuffer<u64> {
+        let mut b = PartitionBuffer::new(4);
+        for &(q, p) in ops {
+            b.push(Operation::new(q, q, p, p));
+        }
+        b
+    }
+
+    #[test]
+    fn returns_none_when_all_buffers_empty() {
+        let buffers: Vec<PartitionBuffer<u64>> = vec![PartitionBuffer::new(2), PartitionBuffer::new(2)];
+        let mut s = Scheduler::new(SchedulingPolicy::Priority);
+        assert_eq!(s.next(&buffers), None);
+    }
+
+    #[test]
+    fn priority_picks_partition_with_best_operation() {
+        let buffers = vec![
+            buffer_with(&[(0, 50), (1, 40)]),
+            buffer_with(&[(0, 5)]),
+            buffer_with(&[(2, 20), (3, 90)]),
+        ];
+        let mut s = Scheduler::new(SchedulingPolicy::Priority);
+        assert_eq!(s.next(&buffers), Some(1));
+    }
+
+    #[test]
+    fn max_operations_picks_largest_buffer() {
+        let buffers = vec![
+            buffer_with(&[(0, 1)]),
+            buffer_with(&[(0, 99), (1, 99), (2, 99)]),
+            PartitionBuffer::new(2),
+        ];
+        let mut s = Scheduler::new(SchedulingPolicy::MaxOperations);
+        assert_eq!(s.next(&buffers), Some(1));
+    }
+
+    #[test]
+    fn fifo_respects_stamp_order() {
+        let mut s = Scheduler::new(SchedulingPolicy::Fifo);
+        let mut b0 = buffer_with(&[(0, 9)]);
+        let mut b1 = buffer_with(&[(0, 1)]);
+        // b1 became non-empty first.
+        s.stamp(&mut b1);
+        s.stamp(&mut b0);
+        let buffers = vec![b0, b1];
+        assert_eq!(s.next(&buffers), Some(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_given_seed_and_always_valid() {
+        let buffers = vec![
+            buffer_with(&[(0, 1)]),
+            PartitionBuffer::new(2),
+            buffer_with(&[(1, 2)]),
+            buffer_with(&[(2, 3)]),
+        ];
+        let picks_a: Vec<_> = {
+            let mut s = Scheduler::new(SchedulingPolicy::Random { seed: 11 });
+            (0..20).map(|_| s.next(&buffers).unwrap()).collect()
+        };
+        let picks_b: Vec<_> = {
+            let mut s = Scheduler::new(SchedulingPolicy::Random { seed: 11 });
+            (0..20).map(|_| s.next(&buffers).unwrap()).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&p| p != 1), "never picks an empty partition");
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert_eq!(SchedulingPolicy::all().len(), 4);
+        assert_eq!(SchedulingPolicy::Priority.name(), "priority");
+        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::Priority);
+        assert_eq!(Scheduler::new(SchedulingPolicy::Fifo).policy(), SchedulingPolicy::Fifo);
+    }
+}

@@ -1,0 +1,333 @@
+//! Graph readers and writers.
+//!
+//! Three on-disk formats are supported so the original paper datasets can be
+//! used directly if available:
+//!
+//! * **Edge list** (SNAP style): one `u v [w]` per line, `#` comments.
+//! * **DIMACS** shortest-path format (`.gr`): `c` comments, `p sp n m` header,
+//!   `a u v w` arcs with 1-based vertex ids (used by the road networks).
+//! * **METIS** format: header `n m [fmt]`, then one line per vertex listing its
+//!   (1-based) neighbours, optionally interleaved with weights.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
+
+/// Errors produced by the parsers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input text does not conform to the expected format.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Read a SNAP-style edge list: `u v` or `u v w` per line; lines starting with
+/// `#` or `%` are comments. Vertex ids are 0-based.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut weighted = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing source"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad source: {e}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing target"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad target: {e}")))?;
+        match it.next() {
+            Some(tok) => {
+                let w: Weight =
+                    tok.parse().map_err(|e| parse_err(idx + 1, format!("bad weight: {e}")))?;
+                weighted = true;
+                builder.add_edge(u, v, w);
+            }
+            None => {
+                if weighted {
+                    return Err(parse_err(idx + 1, "mixed weighted and unweighted lines"));
+                }
+                builder.add_unweighted_edge(u, v);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a SNAP-style edge list.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v, w) in graph.edges() {
+        if graph.is_weighted() {
+            writeln!(writer, "{u} {v} {w}")?;
+        } else {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a DIMACS shortest-path `.gr` file (1-based vertex ids, `a u v w` arcs).
+pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut declared: Option<(usize, usize)> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let kind = it.next().ok_or_else(|| parse_err(idx + 1, "missing problem kind"))?;
+            if kind != "sp" {
+                return Err(parse_err(idx + 1, format!("unsupported problem kind '{kind}'")));
+            }
+            let n: usize = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing vertex count"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad vertex count: {e}")))?;
+            let m: usize = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing edge count"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad edge count: {e}")))?;
+            declared = Some((n, m));
+            builder = GraphBuilder::new(n);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("a ") {
+            if declared.is_none() {
+                return Err(parse_err(idx + 1, "arc before problem line"));
+            }
+            let mut it = rest.split_whitespace();
+            let u: u64 = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing source"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad source: {e}")))?;
+            let v: u64 = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing target"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad target: {e}")))?;
+            let w: Weight = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing weight"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad weight: {e}")))?;
+            if u == 0 || v == 0 {
+                return Err(parse_err(idx + 1, "DIMACS vertex ids are 1-based"));
+            }
+            builder.add_edge((u - 1) as VertexId, (v - 1) as VertexId, w);
+            continue;
+        }
+        return Err(parse_err(idx + 1, format!("unrecognised line '{line}'")));
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph in DIMACS `.gr` format.
+pub fn write_dimacs<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "c generated by fg-graph")?;
+    writeln!(writer, "p sp {} {}", graph.num_vertices(), graph.num_edges())?;
+    for (u, v, w) in graph.edges() {
+        writeln!(writer, "a {} {} {}", u + 1, v + 1, w)?;
+    }
+    Ok(())
+}
+
+/// Read a METIS graph file (unweighted or edge-weighted, 1-based neighbours).
+pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate().filter_map(|(i, l)| match l {
+        Ok(s) => {
+            let t = s.trim().to_string();
+            if t.is_empty() || t.starts_with('%') {
+                None
+            } else {
+                Some(Ok((i, t)))
+            }
+        }
+        Err(e) => Some(Err(IoError::Io(e))),
+    });
+    let (hline, header) = lines.next().ok_or_else(|| parse_err(1, "empty METIS file"))??;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| parse_err(hline + 1, "missing vertex count"))?
+        .parse()
+        .map_err(|e| parse_err(hline + 1, format!("bad vertex count: {e}")))?;
+    let _m: usize = it
+        .next()
+        .ok_or_else(|| parse_err(hline + 1, "missing edge count"))?
+        .parse()
+        .map_err(|e| parse_err(hline + 1, format!("bad edge count: {e}")))?;
+    let fmt = it.next().unwrap_or("0");
+    let edge_weighted = fmt.ends_with('1');
+
+    let mut builder = GraphBuilder::new(n);
+    let mut vertex: usize = 0;
+    for item in lines {
+        let (lineno, line) = item?;
+        if vertex >= n {
+            return Err(parse_err(lineno + 1, "more vertex lines than declared"));
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if edge_weighted {
+            if tokens.len() % 2 != 0 {
+                return Err(parse_err(lineno + 1, "odd token count for weighted adjacency"));
+            }
+            for pair in tokens.chunks(2) {
+                let v: u64 =
+                    pair[0].parse().map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
+                let w: Weight =
+                    pair[1].parse().map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?;
+                builder.add_edge(vertex as VertexId, (v - 1) as VertexId, w);
+            }
+        } else {
+            for tok in tokens {
+                let v: u64 =
+                    tok.parse().map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
+                builder.add_unweighted_edge(vertex as VertexId, (v - 1) as VertexId);
+            }
+        }
+        vertex += 1;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip_unweighted() {
+        let input = "# comment\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_round_trip_weighted() {
+        let input = "0 1 5\n1 2 3\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_edges(0).next(), Some((1, 5)));
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        assert_eq!(g, read_edge_list(out.as_slice()).unwrap());
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_rejects_mixed_weightedness() {
+        assert!(read_edge_list("0 1 2\n1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let input = "c road\np sp 4 4\na 1 2 7\na 2 3 2\na 3 4 1\na 4 1 9\n";
+        let g = read_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_edges(0).next(), Some((1, 7)));
+        let mut out = Vec::new();
+        write_dimacs(&g, &mut out).unwrap();
+        assert_eq!(g, read_dimacs(out.as_slice()).unwrap());
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_ids_and_missing_header() {
+        assert!(read_dimacs("p sp 2 1\na 0 1 3\n".as_bytes()).is_err());
+        assert!(read_dimacs("a 1 2 3\n".as_bytes()).is_err());
+        assert!(read_dimacs("p max 2 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_unweighted() {
+        // Triangle: each vertex lists its two neighbours (1-based).
+        let input = "3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn metis_edge_weighted() {
+        let input = "% comment\n2 1 001\n2 5\n1 5\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.out_edges(0).next(), Some((1, 5)));
+        assert_eq!(g.out_edges(1).next(), Some((0, 5)));
+    }
+
+    #[test]
+    fn metis_rejects_extra_lines() {
+        let input = "1 0\n\n2\n3\n";
+        assert!(read_metis(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fg_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        let g = crate::gen::erdos_renyi(50, 200, 9);
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_edge_list(&g, &mut f).unwrap();
+        drop(f);
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

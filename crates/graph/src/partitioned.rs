@@ -1,0 +1,242 @@
+//! LLC-sized partitioned graph representation.
+//!
+//! [`PartitionedGraph`] combines a [`CsrGraph`] with a [`PartitionPlan`] and the
+//! per-partition metadata the ForkGraph engine needs: the vertex membership of
+//! every partition, internal/cut edge counts, and byte footprints used to check
+//! that partitions actually fit the (simulated) last-level cache.
+
+use std::sync::Arc;
+
+use crate::partition::{PartitionConfig, PartitionId, PartitionPlan};
+use crate::{CsrGraph, VertexId, Weight};
+
+/// Per-partition metadata.
+#[derive(Clone, Debug)]
+pub struct PartitionInfo {
+    /// Partition id (index into [`PartitionedGraph::partitions`]).
+    pub id: PartitionId,
+    /// Global ids of the vertices in this partition, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Edges whose source and target both lie in this partition.
+    pub num_internal_edges: usize,
+    /// Edges leaving this partition.
+    pub num_cut_edges: usize,
+    /// Approximate bytes of CSR adjacency + vertex state touched when
+    /// processing this partition.
+    pub footprint_bytes: usize,
+}
+
+impl PartitionInfo {
+    /// Number of vertices in the partition.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Total out-edges of the partition's vertices (internal + cut).
+    pub fn num_edges(&self) -> usize {
+        self.num_internal_edges + self.num_cut_edges
+    }
+}
+
+/// A graph divided into LLC-sized partitions.
+#[derive(Clone, Debug)]
+pub struct PartitionedGraph {
+    graph: Arc<CsrGraph>,
+    plan: PartitionPlan,
+    partitions: Vec<PartitionInfo>,
+    config: PartitionConfig,
+}
+
+impl PartitionedGraph {
+    /// Partition `graph` according to `config` (clones the graph into an
+    /// [`Arc`]; use [`Self::build_arc`] to avoid the copy).
+    pub fn build(graph: &CsrGraph, config: PartitionConfig) -> PartitionedGraph {
+        Self::build_arc(Arc::new(graph.clone()), config)
+    }
+
+    /// Partition an already shared graph.
+    pub fn build_arc(graph: Arc<CsrGraph>, config: PartitionConfig) -> PartitionedGraph {
+        let plan = PartitionPlan::compute(&graph, &config);
+        let partitions = Self::collect_partitions(&graph, &plan);
+        PartitionedGraph { graph, plan, partitions, config }
+    }
+
+    /// Build from a precomputed plan (used by the partition-method sweeps).
+    pub fn from_plan(graph: Arc<CsrGraph>, plan: PartitionPlan, config: PartitionConfig) -> Self {
+        assert!(plan.validate(&graph), "partition plan does not cover the graph");
+        let partitions = Self::collect_partitions(&graph, &plan);
+        PartitionedGraph { graph, plan, partitions, config }
+    }
+
+    fn collect_partitions(graph: &CsrGraph, plan: &PartitionPlan) -> Vec<PartitionInfo> {
+        let k = plan.num_partitions;
+        let mut vertices: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for v in 0..graph.num_vertices() as VertexId {
+            vertices[plan.partition_of(v) as usize].push(v);
+        }
+        let mut infos = Vec::with_capacity(k);
+        for (id, verts) in vertices.into_iter().enumerate() {
+            let mut internal = 0usize;
+            let mut cut = 0usize;
+            let mut adjacency_bytes = 0usize;
+            for &v in &verts {
+                adjacency_bytes += graph.out_degree(v) * std::mem::size_of::<VertexId>()
+                    + std::mem::size_of::<u64>();
+                if graph.is_weighted() {
+                    adjacency_bytes += graph.out_degree(v) * std::mem::size_of::<Weight>();
+                }
+                for &t in graph.out_neighbors(v) {
+                    if plan.partition_of(t) == id as PartitionId {
+                        internal += 1;
+                    } else {
+                        cut += 1;
+                    }
+                }
+            }
+            // Vertex state: one distance/residual slot per vertex (8 bytes) as a
+            // conservative per-query footprint estimate.
+            let footprint_bytes = adjacency_bytes + verts.len() * 8;
+            infos.push(PartitionInfo {
+                id: id as PartitionId,
+                vertices: verts,
+                num_internal_edges: internal,
+                num_cut_edges: cut,
+                footprint_bytes,
+            });
+        }
+        infos
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the underlying graph.
+    pub fn graph_arc(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// Configuration this partitioned graph was built with.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-partition metadata.
+    pub fn partitions(&self) -> &[PartitionInfo] {
+        &self.partitions
+    }
+
+    /// Metadata of partition `p`.
+    pub fn partition(&self, p: PartitionId) -> &PartitionInfo {
+        &self.partitions[p as usize]
+    }
+
+    /// Partition containing vertex `v`.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> PartitionId {
+        self.plan.partition_of(v)
+    }
+
+    /// Total number of cut edges (counted once per directed edge).
+    pub fn total_cut_edges(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_cut_edges).sum()
+    }
+
+    /// Fraction of directed edges that cross partitions.
+    pub fn cut_ratio(&self) -> f64 {
+        if self.graph.num_edges() == 0 {
+            0.0
+        } else {
+            self.total_cut_edges() as f64 / self.graph.num_edges() as f64
+        }
+    }
+
+    /// Largest partition footprint in bytes.
+    pub fn max_footprint_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.footprint_bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::PartitionMethod;
+
+    #[test]
+    fn partitions_cover_all_vertices_exactly_once() {
+        let g = gen::rmat(9, 5, 1);
+        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 6));
+        let mut seen = vec![false; g.num_vertices()];
+        for p in pg.partitions() {
+            for &v in &p.vertices {
+                assert!(!seen[v as usize], "vertex {v} in two partitions");
+                seen[v as usize] = true;
+                assert_eq!(pg.partition_of(v), p.id);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn edge_counts_are_consistent() {
+        let g = gen::grid2d(30, 30, 0.05, 2);
+        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Chunked, 5));
+        let total: usize = pg.partitions().iter().map(|p| p.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(pg.total_cut_edges(), pg.plan().edge_cut(&g));
+    }
+
+    #[test]
+    fn llc_sized_partitions_respect_footprint() {
+        let g = gen::rmat(11, 8, 3);
+        let llc = 64 * 1024;
+        let pg = PartitionedGraph::build(&g, PartitionConfig::llc_sized(llc));
+        assert!(pg.num_partitions() > 1);
+        // Footprints should be in the same ballpark as the LLC budget: allow a
+        // generous factor because hub vertices cannot be split.
+        assert!(pg.max_footprint_bytes() < llc * 4, "footprint {}", pg.max_footprint_bytes());
+    }
+
+    #[test]
+    fn cut_ratio_bounds() {
+        let g = gen::grid2d(40, 40, 0.0, 1);
+        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 8));
+        let ratio = pg.cut_ratio();
+        assert!(ratio > 0.0 && ratio < 0.5, "cut ratio {ratio}");
+    }
+
+    #[test]
+    fn from_plan_rejects_invalid_plans() {
+        let g = gen::path(10);
+        let plan = PartitionPlan { assignment: vec![0; 5], num_partitions: 1 };
+        let result = std::panic::catch_unwind(|| {
+            PartitionedGraph::from_plan(
+                Arc::new(g.clone()),
+                plan,
+                PartitionConfig::with_partitions(PartitionMethod::Random, 1),
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_partition_graph() {
+        let g = gen::path(20);
+        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 1));
+        assert_eq!(pg.num_partitions(), 1);
+        assert_eq!(pg.total_cut_edges(), 0);
+        assert_eq!(pg.partition(0).num_vertices(), 20);
+    }
+}

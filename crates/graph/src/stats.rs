@@ -1,0 +1,171 @@
+//! Graph summary statistics used in reports and sanity tests.
+
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics of a graph, mirroring the columns of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// In-memory CSR size in bytes.
+    pub size_bytes: usize,
+    /// Number of vertices with no out-edges.
+    pub num_sinks: usize,
+    /// Approximate diameter from a double-sweep BFS heuristic (lower bound).
+    pub approx_diameter: usize,
+}
+
+impl GraphStats {
+    /// Compute the statistics of `graph`.
+    pub fn compute(graph: &CsrGraph) -> GraphStats {
+        let n = graph.num_vertices();
+        let mut max_degree = 0usize;
+        let mut num_sinks = 0usize;
+        for v in 0..n as VertexId {
+            let d = graph.out_degree(v);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                num_sinks += 1;
+            }
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+            avg_degree: graph.avg_degree(),
+            max_degree,
+            size_bytes: graph.size_bytes(),
+            num_sinks,
+            approx_diameter: approx_diameter(graph),
+        }
+    }
+}
+
+/// Unweighted eccentricity lower bound via a double-sweep BFS: BFS from vertex
+/// 0 (or the first non-isolated vertex), then BFS again from the farthest
+/// vertex found. Returns 0 for empty or edgeless graphs.
+pub fn approx_diameter(graph: &CsrGraph) -> usize {
+    let n = graph.num_vertices();
+    if n == 0 || graph.num_edges() == 0 {
+        return 0;
+    }
+    let start = (0..n as VertexId).find(|&v| graph.out_degree(v) > 0).unwrap_or(0);
+    let (far, _) = bfs_farthest(graph, start);
+    let (_, dist) = bfs_farthest(graph, far);
+    dist
+}
+
+/// BFS helper returning the farthest reached vertex and its hop distance.
+fn bfs_farthest(graph: &CsrGraph, source: VertexId) -> (VertexId, usize) {
+    let n = graph.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    let mut far = (source, 0usize);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du > far.1 {
+            far = (u, du);
+        }
+        for &v in graph.out_neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+/// Degree histogram with logarithmic buckets: bucket `i` counts vertices whose
+/// out-degree `d` satisfies `2^i <= d < 2^(i+1)` (bucket 0 additionally counts
+/// degree-0 vertices separately in `zero`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Vertices with out-degree 0.
+    pub zero: usize,
+    /// Log-bucketed counts for degree >= 1.
+    pub buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Compute the histogram of `graph`.
+    pub fn compute(graph: &CsrGraph) -> DegreeHistogram {
+        let mut hist = DegreeHistogram::default();
+        for v in 0..graph.num_vertices() as VertexId {
+            let d = graph.out_degree(v);
+            if d == 0 {
+                hist.zero += 1;
+            } else {
+                let bucket = (usize::BITS - 1 - d.leading_zeros()) as usize;
+                if hist.buckets.len() <= bucket {
+                    hist.buckets.resize(bucket + 1, 0);
+                }
+                hist.buckets[bucket] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total number of vertices represented.
+    pub fn total(&self) -> usize {
+        self.zero + self.buckets.iter().sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_path_graph() {
+        let g = gen::path(10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 18);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.num_sinks, 0);
+        assert_eq!(s.approx_diameter, 9);
+    }
+
+    #[test]
+    fn road_diameter_exceeds_social_diameter() {
+        let road = gen::grid2d(40, 40, 0.0, 1);
+        let social = gen::rmat(10, 8, 1);
+        let dr = approx_diameter(&road);
+        let ds = approx_diameter(&social);
+        assert!(dr > ds, "road {dr} vs social {ds}");
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_vertex() {
+        let g = gen::rmat(9, 6, 4);
+        let h = DegreeHistogram::compute(&g);
+        assert_eq!(h.total(), g.num_vertices());
+    }
+
+    #[test]
+    fn histogram_of_complete_graph_is_single_bucket() {
+        let g = gen::complete(9); // degree 8 for every vertex
+        let h = DegreeHistogram::compute(&g);
+        assert_eq!(h.zero, 0);
+        assert_eq!(h.buckets[3], 9); // bucket for 8..16
+        assert_eq!(h.buckets.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::GraphBuilder::new(0).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.approx_diameter, 0);
+        assert_eq!(DegreeHistogram::compute(&g).total(), 0);
+    }
+}

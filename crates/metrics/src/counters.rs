@@ -1,0 +1,179 @@
+//! Thread-safe work counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Counters updated concurrently by engine worker threads.
+///
+/// All counters use relaxed atomics: they are statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct WorkCounters {
+    edges_processed: AtomicU64,
+    operations_processed: AtomicU64,
+    operations_buffered: AtomicU64,
+    operations_pruned: AtomicU64,
+    partition_visits: AtomicU64,
+    yields: AtomicU64,
+    iterations: AtomicU64,
+    queries_completed: AtomicU64,
+}
+
+impl WorkCounters {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` relaxed/processed edges.
+    #[inline]
+    pub fn add_edges(&self, n: u64) {
+        self.edges_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` executed operations (the ⟨q, v, val⟩ triples of the paper).
+    #[inline]
+    pub fn add_operations(&self, n: u64) {
+        self.operations_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` operations appended to partition buffers.
+    #[inline]
+    pub fn add_buffered(&self, n: u64) {
+        self.operations_buffered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` operations discarded by consolidation or priority pruning.
+    #[inline]
+    pub fn add_pruned(&self, n: u64) {
+        self.operations_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one scheduled partition visit.
+    #[inline]
+    pub fn add_partition_visit(&self) {
+        self.partition_visits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one yield (early termination of a query inside a partition).
+    #[inline]
+    pub fn add_yield(&self) {
+        self.yields.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one engine iteration (frontier step or partition drain).
+    #[inline]
+    pub fn add_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` completed queries.
+    #[inline]
+    pub fn add_queries_completed(&self, n: u64) {
+        self.queries_completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> WorkSnapshot {
+        WorkSnapshot {
+            edges_processed: self.edges_processed.load(Ordering::Relaxed),
+            operations_processed: self.operations_processed.load(Ordering::Relaxed),
+            operations_buffered: self.operations_buffered.load(Ordering::Relaxed),
+            operations_pruned: self.operations_pruned.load(Ordering::Relaxed),
+            partition_visits: self.partition_visits.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            queries_completed: self.queries_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`WorkCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkSnapshot {
+    /// Edges relaxed/traversed.
+    pub edges_processed: u64,
+    /// Operations (⟨q, v, val⟩ triples) executed.
+    pub operations_processed: u64,
+    /// Operations appended to partition buffers.
+    pub operations_buffered: u64,
+    /// Operations discarded before execution (consolidation / priority pruning).
+    pub operations_pruned: u64,
+    /// Partition visits scheduled by the inter-partition scheduler.
+    pub partition_visits: u64,
+    /// Yields taken by the yielding optimisation.
+    pub yields: u64,
+    /// Engine iterations (frontier steps for the baselines).
+    pub iterations: u64,
+    /// Queries completed.
+    pub queries_completed: u64,
+}
+
+impl WorkSnapshot {
+    /// Element-wise sum of two snapshots.
+    pub fn merge(&self, other: &WorkSnapshot) -> WorkSnapshot {
+        WorkSnapshot {
+            edges_processed: self.edges_processed + other.edges_processed,
+            operations_processed: self.operations_processed + other.operations_processed,
+            operations_buffered: self.operations_buffered + other.operations_buffered,
+            operations_pruned: self.operations_pruned + other.operations_pruned,
+            partition_visits: self.partition_visits + other.partition_visits,
+            yields: self.yields + other.yields,
+            iterations: self.iterations + other.iterations,
+            queries_completed: self.queries_completed + other.queries_completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = WorkCounters::new();
+        c.add_edges(10);
+        c.add_edges(5);
+        c.add_operations(3);
+        c.add_partition_visit();
+        c.add_yield();
+        c.add_iteration();
+        c.add_queries_completed(2);
+        c.add_buffered(7);
+        c.add_pruned(1);
+        let s = c.snapshot();
+        assert_eq!(s.edges_processed, 15);
+        assert_eq!(s.operations_processed, 3);
+        assert_eq!(s.partition_visits, 1);
+        assert_eq!(s.yields, 1);
+        assert_eq!(s.iterations, 1);
+        assert_eq!(s.queries_completed, 2);
+        assert_eq!(s.operations_buffered, 7);
+        assert_eq!(s.operations_pruned, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = WorkCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add_edges(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().edges_processed, 8000);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = WorkSnapshot { edges_processed: 1, partition_visits: 2, ..Default::default() };
+        let b = WorkSnapshot { edges_processed: 3, yields: 4, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.edges_processed, 4);
+        assert_eq!(m.partition_visits, 2);
+        assert_eq!(m.yields, 4);
+    }
+}

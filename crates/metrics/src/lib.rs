@@ -1,0 +1,15 @@
+//! # fg-metrics
+//!
+//! Work counters, timers, and report formatting shared by every engine in the
+//! workspace. The paper's evaluation compares systems along three axes —
+//! wall-clock time, number of LLC misses, and amount of work (edges/operations
+//! processed) — so each engine run produces a [`Measurement`] bundling those
+//! quantities.
+
+pub mod counters;
+pub mod measurement;
+pub mod report;
+
+pub use counters::{WorkCounters, WorkSnapshot};
+pub use measurement::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch};
+pub use report::Table;

@@ -1,0 +1,76 @@
+//! Bellman–Ford shortest paths.
+//!
+//! Used as an independent oracle for SSSP correctness tests and as the basis of
+//! the atomic-free, topology-driven SSSP of Appendix E (implemented in
+//! `fg-baselines`).
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+
+/// Run Bellman–Ford from `source`, returning `(dist, edges_processed)`.
+///
+/// Iterates until no distance changes (early exit), which for non-negative
+/// weights always terminates within `|V|` rounds.
+pub fn bellman_ford(graph: &CsrGraph, source: VertexId) -> (Vec<Dist>, u64) {
+    let n = graph.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    dist[source as usize] = 0;
+    let mut edges_processed = 0u64;
+    for _round in 0..n {
+        let mut changed = false;
+        for u in 0..n as VertexId {
+            let du = dist[u as usize];
+            if du == INF_DIST {
+                continue;
+            }
+            for (v, w) in graph.out_edges(u) {
+                edges_processed += 1;
+                let nd = du + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (dist, edges_processed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use fg_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_weighted_graphs() {
+        for seed in 0..3u64 {
+            let g = gen::erdos_renyi(150, 900, seed).with_random_weights(7, seed);
+            let (bf, _) = bellman_ford(&g, 0);
+            let d = dijkstra(&g, 0);
+            assert_eq!(bf, d.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn performs_more_work_than_dijkstra_on_road_like_graphs() {
+        let g = gen::grid2d(30, 30, 0.0, 1).with_random_weights(9, 3);
+        let (_, bf_work) = bellman_ford(&g, 0);
+        let d = dijkstra(&g, 0);
+        assert!(bf_work > d.edges_processed, "bf {bf_work} vs dijkstra {}", d.edges_processed);
+    }
+
+    #[test]
+    fn disconnected_component_unreachable() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 2);
+        b.add_edge(3, 4, 2);
+        let g = b.build();
+        let (dist, _) = bellman_ford(&g, 0);
+        assert_eq!(dist[1], 2);
+        assert_eq!(dist[3], INF_DIST);
+        assert_eq!(dist[4], INF_DIST);
+    }
+}

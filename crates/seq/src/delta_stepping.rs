@@ -1,0 +1,122 @@
+//! Sequential Δ-stepping shortest paths (Meyer & Sanders).
+//!
+//! Vertices are kept in buckets of width Δ; light edges (weight < Δ) are
+//! relaxed within a bucket until it empties, heavy edges once per bucket. The
+//! paper's yielding heuristic 2 restricts intra-partition processing to values
+//! within `[dist_min, dist_min + Δ)`, exactly the bucket discipline implemented
+//! here, so this kernel grounds both the heuristic and its default threshold.
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+
+/// Run Δ-stepping from `source` with bucket width `delta`.
+/// Returns `(dist, edges_processed)`.
+pub fn delta_stepping(graph: &CsrGraph, source: VertexId, delta: Dist) -> (Vec<Dist>, u64) {
+    assert!(delta > 0, "delta must be positive");
+    let n = graph.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    let mut edges_processed = 0u64;
+    if n == 0 {
+        return (dist, edges_processed);
+    }
+    dist[source as usize] = 0;
+    let num_buckets = (graph.max_distance_bound() / delta + 2) as usize;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); num_buckets.min(1 << 22)];
+    buckets[0].push(source);
+    let bucket_of = |d: Dist| (d / delta) as usize;
+
+    let mut i = 0usize;
+    while i < buckets.len() {
+        // Settle bucket i: repeatedly relax light edges of its members.
+        let mut deleted: Vec<VertexId> = Vec::new();
+        while let Some(u) = buckets[i].pop() {
+            let du = dist[u as usize];
+            if du == INF_DIST || bucket_of(du) != i {
+                continue; // stale entry
+            }
+            deleted.push(u);
+            for (v, w) in graph.out_edges(u) {
+                if (w as Dist) >= delta {
+                    continue; // heavy edge, handled later
+                }
+                edges_processed += 1;
+                let nd = du + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    let b = bucket_of(nd);
+                    if b < buckets.len() {
+                        buckets[b].push(v);
+                    }
+                }
+            }
+        }
+        // Relax heavy edges of everything settled in this bucket.
+        for &u in &deleted {
+            let du = dist[u as usize];
+            for (v, w) in graph.out_edges(u) {
+                if (w as Dist) < delta {
+                    continue;
+                }
+                edges_processed += 1;
+                let nd = du + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    let b = bucket_of(nd);
+                    if b < buckets.len() {
+                        buckets[b].push(v);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (dist, edges_processed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use fg_graph::gen;
+
+    #[test]
+    fn agrees_with_dijkstra_for_various_deltas() {
+        let g = gen::erdos_renyi(200, 1200, 7).with_random_weights(9, 7);
+        let oracle = dijkstra(&g, 5);
+        for delta in [1, 2, 4, 16, 1000] {
+            let (dist, _) = delta_stepping(&g, 5, delta);
+            assert_eq!(dist, oracle.dist, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_road_like_graphs() {
+        let g = gen::grid2d(25, 25, 0.02, 3).with_random_weights(9, 1);
+        let oracle = dijkstra(&g, 0);
+        let (dist, _) = delta_stepping(&g, 0, 5);
+        assert_eq!(dist, oracle.dist);
+    }
+
+    #[test]
+    fn small_delta_processes_no_fewer_edges_than_dijkstra() {
+        let g = gen::grid2d(20, 20, 0.0, 1).with_random_weights(6, 2);
+        let d = dijkstra(&g, 0);
+        let (_, work1) = delta_stepping(&g, 0, 1);
+        assert!(work1 >= d.edges_processed / 2, "delta-stepping did suspiciously little work");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn zero_delta_panics() {
+        let g = gen::path(4);
+        let _ = delta_stepping(&g, 0, 0);
+    }
+
+    #[test]
+    fn unweighted_graph_with_delta_one_matches_bfs() {
+        let g = gen::path(30);
+        let (dist, _) = delta_stepping(&g, 0, 1);
+        for (v, d) in dist.iter().enumerate() {
+            assert_eq!(*d, v as Dist);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Sequential depth-first search (iterative).
+
+use fg_graph::{CsrGraph, VertexId};
+
+/// Result of a DFS traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsResult {
+    /// Source vertex.
+    pub source: VertexId,
+    /// `order[v]` is the discovery index of `v`, or `u32::MAX` if unreachable.
+    pub order: Vec<u32>,
+    /// Vertices in discovery order.
+    pub preorder: Vec<VertexId>,
+    /// Number of edges examined.
+    pub edges_processed: u64,
+}
+
+impl DfsResult {
+    /// Number of vertices reached.
+    pub fn num_reached(&self) -> usize {
+        self.preorder.len()
+    }
+}
+
+/// Run an iterative DFS from `source`. Neighbours are visited in adjacency
+/// order (the first neighbour is explored first).
+pub fn dfs(graph: &CsrGraph, source: VertexId) -> DfsResult {
+    let n = graph.num_vertices();
+    let mut order = vec![u32::MAX; n];
+    let mut preorder = Vec::new();
+    let mut edges_processed = 0u64;
+    // Stack of (vertex, next-neighbour-index).
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+    order[source as usize] = 0;
+    preorder.push(source);
+    stack.push((source, 0));
+    while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+        let neighbors = graph.out_neighbors(u);
+        if *idx >= neighbors.len() {
+            stack.pop();
+            continue;
+        }
+        let v = neighbors[*idx];
+        *idx += 1;
+        edges_processed += 1;
+        if order[v as usize] == u32::MAX {
+            order[v as usize] = preorder.len() as u32;
+            preorder.push(v);
+            stack.push((v, 0));
+        }
+    }
+    DfsResult { source, order, preorder, edges_processed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn dfs_on_path_visits_in_order() {
+        let g = gen::path(5);
+        let r = dfs(&g, 0);
+        assert_eq!(r.preorder, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.num_reached(), 5);
+    }
+
+    #[test]
+    fn dfs_goes_deep_before_wide() {
+        // 0 -> 1 -> 3 ; 0 -> 2
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(1, 3, 1);
+        let g = b.build();
+        let r = dfs(&g, 0);
+        assert_eq!(r.preorder, vec![0, 1, 3, 2]);
+        assert_eq!(r.order[3], 2);
+        assert_eq!(r.order[2], 3);
+    }
+
+    #[test]
+    fn dfs_and_bfs_reach_the_same_set() {
+        let g = gen::rmat(8, 4, 9);
+        let d = dfs(&g, 0);
+        let b = crate::bfs::bfs(&g, 0);
+        for v in 0..g.num_vertices() {
+            assert_eq!(d.order[v] != u32::MAX, b.level[v] != u32::MAX, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn every_reached_vertex_has_unique_order() {
+        let g = gen::grid2d(10, 10, 0.1, 2);
+        let r = dfs(&g, 0);
+        let mut orders: Vec<u32> = r.order.iter().copied().filter(|&o| o != u32::MAX).collect();
+        orders.sort_unstable();
+        for (i, o) in orders.iter().enumerate() {
+            assert_eq!(*o, i as u32);
+        }
+    }
+
+    #[test]
+    fn edges_processed_bounded_by_reachable_out_degree() {
+        let g = gen::erdos_renyi(100, 400, 1);
+        let r = dfs(&g, 0);
+        let bound: u64 = r.preorder.iter().map(|&v| g.out_degree(v) as u64).sum();
+        assert!(r.edges_processed <= bound);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dijkstra's algorithm with a binary heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsspResult {
+    /// Source vertex.
+    pub source: VertexId,
+    /// `dist[v]` is the shortest distance from the source to `v`, or
+    /// [`INF_DIST`] if unreachable.
+    pub dist: Vec<Dist>,
+    /// `parent[v]` is the predecessor of `v` on a shortest path (undefined for
+    /// the source and unreachable vertices, where it equals `v` itself).
+    pub parent: Vec<VertexId>,
+    /// Number of edges relaxed.
+    pub edges_processed: u64,
+}
+
+impl SsspResult {
+    /// Number of vertices reachable from the source (including the source).
+    pub fn num_reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != INF_DIST).count()
+    }
+}
+
+/// Run Dijkstra's algorithm from `source`.
+///
+/// Works on weighted and unweighted graphs (unweighted edges count as weight
+/// 1, so the result equals BFS hop distances).
+pub fn dijkstra(graph: &CsrGraph, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    let mut dist = vec![INF_DIST; n];
+    let mut parent: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut edges_processed = 0u64;
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in graph.out_edges(u) {
+            edges_processed += 1;
+            let nd = d + w as Dist;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { source, dist, parent, edges_processed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{gen, GraphBuilder};
+
+    fn weighted_example() -> CsrGraph {
+        // 0 --1-- 1 --1-- 2
+        //  \------5------/ plus 2 -> 3 (2)
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected_edge(0, 1, 1);
+        b.add_undirected_edge(1, 2, 1);
+        b.add_undirected_edge(0, 2, 5);
+        b.add_undirected_edge(2, 3, 2);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_paths_on_small_graph() {
+        let g = weighted_example();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 4]);
+        assert_eq!(r.parent[3], 2);
+        assert_eq!(r.parent[2], 1);
+        assert_eq!(r.num_reached(), 4);
+        assert!(r.edges_processed > 0);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        // vertex 2, 3 disconnected
+        let g = b.build();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[1], 1);
+        assert_eq!(r.dist[2], INF_DIST);
+        assert_eq!(r.num_reached(), 2);
+    }
+
+    #[test]
+    fn unweighted_distances_equal_bfs_levels() {
+        let g = gen::grid2d(15, 15, 0.0, 1);
+        let r = dijkstra(&g, 0);
+        let b = crate::bfs::bfs(&g, 0);
+        for v in 0..g.num_vertices() {
+            if b.level[v] == u32::MAX {
+                assert_eq!(r.dist[v], INF_DIST);
+            } else {
+                assert_eq!(r.dist[v], b.level[v] as Dist);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_pointers_form_shortest_path_tree() {
+        let g = gen::rmat(8, 6, 2).with_random_weights(9, 1);
+        let r = dijkstra(&g, 3);
+        for v in 0..g.num_vertices() as VertexId {
+            if r.dist[v as usize] == INF_DIST || v == 3 {
+                continue;
+            }
+            let p = r.parent[v as usize];
+            let w = g.out_edges(p).find(|&(t, _)| t == v).map(|(_, w)| w).unwrap();
+            assert_eq!(r.dist[p as usize] + w as Dist, r.dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_over_all_edges() {
+        let g = gen::erdos_renyi(300, 2000, 5).with_random_weights(8, 2);
+        let r = dijkstra(&g, 0);
+        for (u, v, w) in g.edges() {
+            if r.dist[u as usize] != INF_DIST {
+                assert!(r.dist[v as usize] <= r.dist[u as usize] + w as Dist);
+            }
+        }
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let g = gen::path(10);
+        let r = dijkstra(&g, 7);
+        assert_eq!(r.dist[7], 0);
+        assert_eq!(r.source, 7);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bounded random walks.
+//!
+//! Random-walk FPP queries (Figure 15 of the paper) launch many independent
+//! walkers from different sources; each walker takes a fixed number of steps
+//! and the per-vertex visit counts approximate the stationary/PPR distribution.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fg_graph::{CsrGraph, VertexId};
+
+/// Parameters of a random-walk query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomWalkConfig {
+    /// Number of independent walkers started at the source.
+    pub num_walks: usize,
+    /// Steps per walker.
+    pub walk_length: usize,
+    /// Probability of restarting at the source at each step (0 disables).
+    pub restart_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        RandomWalkConfig { num_walks: 16, walk_length: 32, restart_prob: 0.15, seed: 1 }
+    }
+}
+
+/// Result of a random-walk query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomWalkResult {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Sparse visit counts `(vertex, visits)`.
+    pub visits: Vec<(VertexId, u64)>,
+    /// Total steps taken (edges traversed).
+    pub edges_processed: u64,
+}
+
+impl RandomWalkResult {
+    /// Total number of visits recorded.
+    pub fn total_visits(&self) -> u64 {
+        self.visits.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// Run `config.num_walks` walks of `config.walk_length` steps from `source`.
+pub fn random_walks(graph: &CsrGraph, source: VertexId, config: &RandomWalkConfig) -> RandomWalkResult {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (source as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut counts = std::collections::HashMap::<VertexId, u64>::new();
+    let mut edges_processed = 0u64;
+    for _ in 0..config.num_walks {
+        let mut current = source;
+        *counts.entry(current).or_insert(0) += 1;
+        for _ in 0..config.walk_length {
+            if config.restart_prob > 0.0 && rng.gen_bool(config.restart_prob) {
+                current = source;
+            } else {
+                let neighbors = graph.out_neighbors(current);
+                if neighbors.is_empty() {
+                    current = source; // dangling: restart
+                } else {
+                    current = neighbors[rng.gen_range(0..neighbors.len())];
+                    edges_processed += 1;
+                }
+            }
+            *counts.entry(current).or_insert(0) += 1;
+        }
+    }
+    let mut visits: Vec<(VertexId, u64)> = counts.into_iter().collect();
+    visits.sort_unstable();
+    RandomWalkResult { source, visits, edges_processed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::gen;
+
+    #[test]
+    fn visit_counts_add_up() {
+        let g = gen::rmat(8, 5, 1);
+        let config = RandomWalkConfig { num_walks: 10, walk_length: 20, restart_prob: 0.1, seed: 3 };
+        let r = random_walks(&g, 0, &config);
+        assert_eq!(r.total_visits(), (10 * (20 + 1)) as u64);
+    }
+
+    #[test]
+    fn walks_are_deterministic_given_seed() {
+        let g = gen::rmat(8, 5, 2);
+        let config = RandomWalkConfig::default();
+        assert_eq!(random_walks(&g, 5, &config), random_walks(&g, 5, &config));
+    }
+
+    #[test]
+    fn isolated_source_stays_put() {
+        let g = fg_graph::GraphBuilder::new(3).build(); // no edges
+        let r = random_walks(&g, 1, &RandomWalkConfig::default());
+        assert_eq!(r.visits, vec![(1, r.total_visits())]);
+        assert_eq!(r.edges_processed, 0);
+    }
+
+    #[test]
+    fn restart_probability_keeps_walks_local() {
+        let g = gen::path(200);
+        let sticky = random_walks(
+            &g,
+            100,
+            &RandomWalkConfig { num_walks: 50, walk_length: 50, restart_prob: 0.5, seed: 9 },
+        );
+        let free = random_walks(
+            &g,
+            100,
+            &RandomWalkConfig { num_walks: 50, walk_length: 50, restart_prob: 0.0, seed: 9 },
+        );
+        let spread = |r: &RandomWalkResult| {
+            r.visits.iter().map(|&(v, _)| (v as i64 - 100).unsigned_abs()).max().unwrap()
+        };
+        assert!(spread(&sticky) <= spread(&free));
+    }
+
+    #[test]
+    fn source_is_most_visited_with_high_restart() {
+        let g = gen::rmat(9, 6, 4);
+        let r = random_walks(
+            &g,
+            7,
+            &RandomWalkConfig { num_walks: 30, walk_length: 30, restart_prob: 0.3, seed: 1 },
+        );
+        let max = r.visits.iter().max_by_key(|&&(_, c)| c).unwrap();
+        assert_eq!(max.0, 7);
+    }
+}

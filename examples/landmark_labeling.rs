@@ -1,0 +1,36 @@
+//! Landmark labeling on a road network: build a distance-label index with a
+//! batch of SSSPs (the LL workload of the paper) and answer point-to-point
+//! distance queries with it.
+//!
+//! Run with: `cargo run --release --example landmark_labeling`
+
+use forkgraph::apps::ll::LandmarkLabeling;
+use forkgraph::prelude::*;
+
+fn main() {
+    // A scaled stand-in for the California road network (Table 2).
+    let graph = forkgraph::graph::datasets::CA.generate_weighted(0.25);
+    println!("road network: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+
+    let partitioned = PartitionedGraph::build(&graph, PartitionConfig::llc_sized(128 * 1024));
+    println!("partitions: {}", partitioned.num_partitions());
+
+    // Build the index from 32 landmarks (the paper uses 16-1024).
+    let app = LandmarkLabeling::new(32, 7);
+    let result = app.run_forkgraph(&partitioned, EngineConfig::default());
+    println!(
+        "built {} labels in {:.2?} ({} edges processed)",
+        result.index.num_labels(),
+        result.measurement.wall_time,
+        result.measurement.work.edges_processed
+    );
+
+    // Answer a few distance queries and compare against exact Dijkstra.
+    let pairs = [(0u32, 500u32), (3, 999), (42, 4000), (100, 2500)];
+    for (u, v) in pairs {
+        let estimate = result.index.estimate(u, v % graph.num_vertices() as u32);
+        let exact = dijkstra(&graph, u).dist[(v % graph.num_vertices() as u32) as usize];
+        println!("d({u}, {v}) <= {estimate}   (exact {exact})");
+        assert!(estimate >= exact, "landmark estimate must upper-bound the true distance");
+    }
+}
