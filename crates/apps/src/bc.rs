@@ -87,7 +87,12 @@ impl BetweennessCentrality {
     }
 
     /// Aggregate per-source distance arrays into centrality scores.
-    pub fn aggregate(&self, graph: &CsrGraph, sources: &[VertexId], dists: &[Vec<Dist>]) -> Vec<f64> {
+    pub fn aggregate(
+        &self,
+        graph: &CsrGraph,
+        sources: &[VertexId],
+        dists: &[Vec<Dist>],
+    ) -> Vec<f64> {
         let mut centrality = vec![0.0f64; graph.num_vertices()];
         for (source, dist) in sources.iter().zip(dists.iter()) {
             Self::accumulate(graph, *source, dist, &mut centrality);
@@ -105,14 +110,16 @@ impl BetweennessCentrality {
     }
 
     /// Run the application on a baseline GPS driver.
-    pub fn run_baseline<E: GpsEngine>(&self, driver: &FppDriver<E>, scheme: ExecutionScheme, graph: &CsrGraph) -> BcResult {
+    pub fn run_baseline<E: GpsEngine>(
+        &self,
+        driver: &FppDriver<E>,
+        scheme: ExecutionScheme,
+        graph: &CsrGraph,
+    ) -> BcResult {
         let sources = self.sources(graph);
         let result = driver.run(&QueryKind::Sssp, &sources, scheme);
-        let dists: Vec<Vec<Dist>> = result
-            .outputs
-            .iter()
-            .map(|o| o.as_sssp().expect("SSSP output").to_vec())
-            .collect();
+        let dists: Vec<Vec<Dist>> =
+            result.outputs.iter().map(|o| o.as_sssp().expect("SSSP output").to_vec()).collect();
         let centrality = self.aggregate(graph, &sources, &dists);
         BcResult { centrality, sources, measurement: result.measurement }
     }
@@ -156,8 +163,8 @@ mod tests {
             sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).dist).collect();
         let c = bc.aggregate(&g, &sources, &dists);
         assert!(c[0] > 0.0);
-        for leaf in 1..6 {
-            assert_eq!(c[leaf], 0.0);
+        for (leaf, &centrality) in c.iter().enumerate().take(6).skip(1) {
+            assert_eq!(centrality, 0.0, "leaf {leaf}");
         }
     }
 

@@ -39,10 +39,8 @@ pub fn sweep_cut(graph: &CsrGraph, estimates: &[(VertexId, f64)]) -> Vec<(usize,
     if estimates.is_empty() {
         return Vec::new();
     }
-    let mut order: Vec<(VertexId, f64)> = estimates
-        .iter()
-        .map(|&(v, p)| (v, p / graph.out_degree(v).max(1) as f64))
-        .collect();
+    let mut order: Vec<(VertexId, f64)> =
+        estimates.iter().map(|&(v, p)| (v, p / graph.out_degree(v).max(1) as f64)).collect();
     order.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let total_volume = graph.num_edges();
@@ -75,9 +73,7 @@ pub fn sweep_cut(graph: &CsrGraph, estimates: &[(VertexId, f64)]) -> Vec<(usize,
 
 /// Minimum conductance over all sweep prefixes; `(best_size, best_phi)`.
 pub fn best_sweep(graph: &CsrGraph, estimates: &[(VertexId, f64)]) -> Option<(usize, f64)> {
-    sweep_cut(graph, estimates)
-        .into_iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
+    sweep_cut(graph, estimates).into_iter().min_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 #[cfg(test)]
@@ -131,10 +127,8 @@ mod tests {
         let profile = sweep_cut(&g, &estimates);
         assert_eq!(profile.len(), estimates.len());
         // Recompute each prefix directly and compare.
-        let mut order: Vec<(u32, f64)> = estimates
-            .iter()
-            .map(|&(v, p)| (v, p / g.out_degree(v).max(1) as f64))
-            .collect();
+        let mut order: Vec<(u32, f64)> =
+            estimates.iter().map(|&(v, p)| (v, p / g.out_degree(v).max(1) as f64)).collect();
         order.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, &(size, phi)) in profile.iter().enumerate() {
             assert_eq!(size, i + 1);

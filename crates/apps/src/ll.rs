@@ -95,15 +95,9 @@ impl LandmarkLabeling {
     ) -> LlResult {
         let landmarks = self.landmarks(graph);
         let result = driver.run(&QueryKind::Sssp, &landmarks, scheme);
-        let distances: Vec<Vec<Dist>> = result
-            .outputs
-            .iter()
-            .map(|o| o.as_sssp().expect("SSSP output").to_vec())
-            .collect();
-        LlResult {
-            index: LandmarkIndex { landmarks, distances },
-            measurement: result.measurement,
-        }
+        let distances: Vec<Vec<Dist>> =
+            result.outputs.iter().map(|o| o.as_sssp().expect("SSSP output").to_vec()).collect();
+        LlResult { index: LandmarkIndex { landmarks, distances }, measurement: result.measurement }
     }
 }
 

@@ -99,15 +99,15 @@ impl NetworkCommunityProfile {
         for est in estimates {
             for (size, phi) in sweep_cut(graph, est) {
                 let bucket = size.next_power_of_two().trailing_zeros() as usize;
-                best_per_bucket
-                    .entry(bucket)
-                    .and_modify(|b| *b = b.min(phi))
-                    .or_insert(phi);
+                best_per_bucket.entry(bucket).and_modify(|b| *b = b.min(phi)).or_insert(phi);
             }
         }
         best_per_bucket
             .into_iter()
-            .map(|(bucket, phi)| NcpPoint { size: 1usize << bucket.saturating_sub(1), conductance: phi })
+            .map(|(bucket, phi)| NcpPoint {
+                size: 1usize << bucket.saturating_sub(1),
+                conductance: phi,
+            })
             .collect()
     }
 
@@ -131,11 +131,8 @@ impl NetworkCommunityProfile {
     ) -> NcpResult {
         let seeds = self.seeds(graph);
         let result = driver.run(&QueryKind::Ppr(self.ppr), &seeds, scheme);
-        let estimates: Vec<Vec<(VertexId, f64)>> = result
-            .outputs
-            .iter()
-            .map(|o| o.as_ppr().expect("PPR output").to_vec())
-            .collect();
+        let estimates: Vec<Vec<(VertexId, f64)>> =
+            result.outputs.iter().map(|o| o.as_ppr().expect("PPR output").to_vec()).collect();
         let profile = self.aggregate(graph, &estimates);
         NcpResult { profile, seeds, measurement: result.measurement }
     }

@@ -82,7 +82,8 @@ mod tests {
         let g = gen::complete(8);
         let counters = WorkCounters::new();
         let tracer = GraphAccessTracer::new(CacheConfig::tiny(64 * 1024));
-        let ctx = QueryContext { query_id: 0, parallel: false, tracer: &tracer, counters: &counters };
+        let ctx =
+            QueryContext { query_id: 0, parallel: false, tracer: &tracer, counters: &counters };
         ctx.record_scan(&g, 0);
         ctx.record_state_touch(0, g.out_neighbors(0));
         assert_eq!(counters.snapshot().edges_processed, 7);
@@ -94,7 +95,8 @@ mod tests {
         let g = gen::complete(5);
         let counters = WorkCounters::new();
         let tracer = GraphAccessTracer::disabled();
-        let ctx = QueryContext { query_id: 3, parallel: true, tracer: &tracer, counters: &counters };
+        let ctx =
+            QueryContext { query_id: 3, parallel: true, tracer: &tracer, counters: &counters };
         ctx.record_scan(&g, 2);
         ctx.record_state_touch(2, g.out_neighbors(2));
         assert_eq!(counters.snapshot().edges_processed, 4);

@@ -144,7 +144,12 @@ impl<E: GpsEngine> FppDriver<E> {
     }
 
     /// Run `sources.len()` queries of the given kind under `scheme`.
-    pub fn run(&self, kind: &QueryKind, sources: &[VertexId], scheme: ExecutionScheme) -> FppResult {
+    pub fn run(
+        &self,
+        kind: &QueryKind,
+        sources: &[VertexId],
+        scheme: ExecutionScheme,
+    ) -> FppResult {
         let tracer = match self.cache_config {
             Some(config) => GraphAccessTracer::new(config),
             None => GraphAccessTracer::disabled(),
@@ -169,11 +174,9 @@ impl<E: GpsEngine> FppDriver<E> {
             ExecutionScheme::SingleThreaded => {
                 sources.iter().enumerate().map(|item| run_one(item, false)).collect()
             }
-            ExecutionScheme::InterQuery => sources
-                .par_iter()
-                .enumerate()
-                .map(|item| run_one(item, false))
-                .collect(),
+            ExecutionScheme::InterQuery => {
+                sources.par_iter().enumerate().map(|item| run_one(item, false)).collect()
+            }
             ExecutionScheme::IntraQuery => {
                 sources.iter().enumerate().map(|item| run_one(item, true)).collect()
             }
@@ -183,10 +186,8 @@ impl<E: GpsEngine> FppDriver<E> {
                 let mut outputs: Vec<Option<QueryOutput>> = vec![None; sources.len()];
                 let indexed: Vec<(usize, &VertexId)> = sources.iter().enumerate().collect();
                 for wave in indexed.chunks(concurrent) {
-                    let wave_outputs: Vec<(usize, QueryOutput)> = wave
-                        .par_iter()
-                        .map(|&(i, s)| (i, run_one((i, s), t > 1)))
-                        .collect();
+                    let wave_outputs: Vec<(usize, QueryOutput)> =
+                        wave.par_iter().map(|&(i, s)| (i, run_one((i, s), t > 1))).collect();
                     for (i, o) in wave_outputs {
                         outputs[i] = Some(o);
                     }
@@ -286,7 +287,8 @@ mod tests {
         let cache = CacheConfig::tiny(64 * 1024);
         let driver = FppDriver::new(LigraEngine::new(), Arc::clone(&g)).with_cache(cache);
         let one = driver.run(&QueryKind::Bfs, &[0], ExecutionScheme::InterQuery);
-        let many = driver.run(&QueryKind::Bfs, &(0..8).collect::<Vec<_>>(), ExecutionScheme::InterQuery);
+        let many =
+            driver.run(&QueryKind::Bfs, &(0..8).collect::<Vec<_>>(), ExecutionScheme::InterQuery);
         assert!(
             many.measurement.cache.unwrap().misses > one.measurement.cache.unwrap().misses,
             "more concurrent queries should touch more lines"

@@ -62,12 +62,9 @@ impl VertexSubset {
     pub fn to_vec(&self) -> Vec<VertexId> {
         match self {
             VertexSubset::Sparse(v) => v.clone(),
-            VertexSubset::Dense(b) => b
-                .iter()
-                .enumerate()
-                .filter(|(_, &x)| x)
-                .map(|(i, _)| i as VertexId)
-                .collect(),
+            VertexSubset::Dense(b) => {
+                b.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i as VertexId).collect()
+            }
         }
     }
 

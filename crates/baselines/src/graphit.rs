@@ -87,7 +87,8 @@ mod tests {
         let engine = GraphItEngine::new();
         let tracer = GraphAccessTracer::disabled();
         let counters = WorkCounters::new();
-        let ctx = QueryContext { query_id: 0, parallel: true, tracer: &tracer, counters: &counters };
+        let ctx =
+            QueryContext { query_id: 0, parallel: true, tracer: &tracer, counters: &counters };
         assert_eq!(engine.sssp(&g, 9, &ctx), fg_seq::dijkstra::dijkstra(&g, 9).dist);
         assert_eq!(engine.bfs(&g, 9, &ctx), fg_seq::bfs::bfs(&g, 9).level);
         assert_eq!(engine.name(), "GraphIt");
@@ -99,7 +100,8 @@ mod tests {
         let engine = GraphItEngine { direction_divisor: 2, segment_vertices: 16 };
         let tracer = GraphAccessTracer::disabled();
         let counters = WorkCounters::new();
-        let ctx = QueryContext { query_id: 0, parallel: false, tracer: &tracer, counters: &counters };
+        let ctx =
+            QueryContext { query_id: 0, parallel: false, tracer: &tracer, counters: &counters };
         assert_eq!(engine.sssp(&g, 0, &ctx), fg_seq::dijkstra::dijkstra(&g, 0).dist);
     }
 

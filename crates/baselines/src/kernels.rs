@@ -81,7 +81,8 @@ fn push_sssp_round(
     frontier: &[VertexId],
     ctx: &QueryContext<'_>,
 ) -> Vec<VertexId> {
-    let in_next: Vec<AtomicBool> = (0..graph.num_vertices()).map(|_| AtomicBool::new(false)).collect();
+    let in_next: Vec<AtomicBool> =
+        (0..graph.num_vertices()).map(|_| AtomicBool::new(false)).collect();
     let relax = |u: VertexId| -> Vec<VertexId> {
         let mut discovered = Vec::new();
         let du = dist[u as usize].load(Ordering::Relaxed);
@@ -205,7 +206,9 @@ pub fn frontier_bfs(
                 in_frontier[v as usize] = true;
             }
             let segment = match strategy {
-                IterationStrategy::DirectionOptimizing { pull_segment, .. } => pull_segment.unwrap_or(n),
+                IterationStrategy::DirectionOptimizing { pull_segment, .. } => {
+                    pull_segment.unwrap_or(n)
+                }
                 IterationStrategy::DenseAlways => n,
             }
             .max(1);
@@ -251,7 +254,12 @@ pub fn frontier_bfs(
                 ctx.record_state_touch(u, graph.out_neighbors(u));
                 for &v in graph.out_neighbors(u) {
                     if level[v as usize]
-                        .compare_exchange(u32::MAX, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(
+                            u32::MAX,
+                            next_level,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                     {
                         discovered.push(v);
@@ -320,7 +328,7 @@ pub fn frontier_ppr(
             // A dense scan reads every vertex's residual once per round.
             ctx.counters.add_edges(n as u64 / 8);
             if ctx.parallel {
-                all.par_iter().filter_map(|v| collect(v)).collect()
+                all.par_iter().filter_map(collect).collect()
             } else {
                 all.iter().filter_map(collect).collect()
             }
@@ -464,7 +472,8 @@ mod tests {
         let oracle = dijkstra(&g, 5).dist;
         let tracer = GraphAccessTracer::disabled();
         let counters = WorkCounters::new();
-        let d = frontier_sssp(&g, 5, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
+        let d =
+            frontier_sssp(&g, 5, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
         assert_eq!(d, oracle);
     }
 
@@ -474,7 +483,8 @@ mod tests {
         let oracle = dijkstra(&g, 7).dist;
         let tracer = GraphAccessTracer::disabled();
         let counters = WorkCounters::new();
-        let strategy = IterationStrategy::DirectionOptimizing { divisor: 20, pull_segment: Some(64) };
+        let strategy =
+            IterationStrategy::DirectionOptimizing { divisor: 20, pull_segment: Some(64) };
         let d = frontier_sssp(&g, 7, &ctx(&tracer, &counters, true), strategy);
         assert_eq!(d, oracle);
     }
@@ -489,7 +499,8 @@ mod tests {
             let l = frontier_bfs(&g, 3, &ctx(&tracer, &counters, parallel), LIGRA_STRATEGY);
             assert_eq!(l, oracle, "parallel={parallel}");
         }
-        let dense = frontier_bfs(&g, 3, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
+        let dense =
+            frontier_bfs(&g, 3, &ctx(&tracer, &counters, false), IterationStrategy::DenseAlways);
         assert_eq!(dense, oracle);
     }
 
@@ -500,9 +511,15 @@ mod tests {
         let ligra_counters = WorkCounters::new();
         let _ = frontier_sssp(&g, 0, &ctx(&tracer, &ligra_counters, false), LIGRA_STRATEGY);
         let gemini_counters = WorkCounters::new();
-        let _ = frontier_sssp(&g, 0, &ctx(&tracer, &gemini_counters, false), IterationStrategy::DenseAlways);
+        let _ = frontier_sssp(
+            &g,
+            0,
+            &ctx(&tracer, &gemini_counters, false),
+            IterationStrategy::DenseAlways,
+        );
         assert!(
-            gemini_counters.snapshot().edges_processed > 2 * ligra_counters.snapshot().edges_processed,
+            gemini_counters.snapshot().edges_processed
+                > 2 * ligra_counters.snapshot().edges_processed,
             "dense {} vs direction-optimizing {}",
             gemini_counters.snapshot().edges_processed,
             ligra_counters.snapshot().edges_processed

@@ -7,7 +7,14 @@ use forkgraph_core::Operation;
 
 fn make_ops(count: usize, queries: usize) -> Vec<Operation<u64>> {
     (0..count)
-        .map(|i| Operation::new(((i * 2654435761) % queries) as u32, i as u32, i as u64, (i as u64 * 37) % 997))
+        .map(|i| {
+            Operation::new(
+                ((i * 2654435761) % queries) as u32,
+                i as u32,
+                i as u64,
+                (i as u64 * 37) % 997,
+            )
+        })
         .collect()
 }
 
@@ -16,9 +23,11 @@ fn bench_consolidation(c: &mut Criterion) {
     let mut group = c.benchmark_group("consolidation");
     group.sample_size(20);
     for method in [ConsolidationMethod::Sort, ConsolidationMethod::Scan] {
-        group.bench_with_input(BenchmarkId::new("flat-buffer", format!("{method:?}")), &method, |b, &m| {
-            b.iter(|| consolidate(&ops, 128, m))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("flat-buffer", format!("{method:?}")),
+            &method,
+            |b, &m| b.iter(|| consolidate(&ops, 128, m)),
+        );
         for buckets in [16usize, 128] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{buckets}-buckets"), format!("{method:?}")),

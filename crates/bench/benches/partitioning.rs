@@ -12,14 +12,10 @@ fn bench_partitioning(c: &mut Criterion) {
     group.sample_size(10);
     for (graph, label) in [(&road, "road"), (&social, "social")] {
         for method in PartitionMethod::all() {
-            group.bench_with_input(
-                BenchmarkId::new(label, method.name()),
-                &method,
-                |b, &m| {
-                    let config = PartitionConfig::with_partitions(m, 16);
-                    b.iter(|| PartitionPlan::compute(graph, &config))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, method.name()), &method, |b, &m| {
+                let config = PartitionConfig::with_partitions(m, 16);
+                b.iter(|| PartitionPlan::compute(graph, &config))
+            });
         }
     }
     group.finish();

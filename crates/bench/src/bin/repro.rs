@@ -33,7 +33,7 @@ fn main() {
         return;
     }
 
-    let selected: Vec<&(&str, fn() -> Vec<fg_metrics::Table>)> = if args.iter().any(|a| a == "all") {
+    let selected: Vec<&fg_bench::experiments::Experiment> = if args.iter().any(|a| a == "all") {
         registry.iter().collect()
     } else {
         let mut chosen = Vec::new();

@@ -147,16 +147,18 @@ pub fn figure1() -> Vec<Table> {
 /// for a small multi-source SSSP workload on a road-like graph.
 pub fn figure8() -> Vec<Table> {
     let graph = datasets::CA.generate_weighted(0.02);
-    let pg = PartitionedGraph::build(&graph, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 4));
+    let pg = PartitionedGraph::build(
+        &graph,
+        PartitionConfig::with_partitions(PartitionMethod::Multilevel, 4),
+    );
     let srcs = sources(&graph, 2, 8);
     let mut table = Table::new(
         "Figure 8 — operations processed under different scheduling methods (2 SSSP queries)",
         &["scheduling", "operations processed", "partition visits"],
     );
     for policy in SchedulingPolicy::all() {
-        let config = EngineConfig::default()
-            .with_scheduling(policy)
-            .with_yield_policy(YieldPolicy::None);
+        let config =
+            EngineConfig::default().with_scheduling(policy).with_yield_policy(YieldPolicy::None);
         let result = ForkGraphEngine::new(&pg, config).run_sssp(&srcs);
         table.push_row([
             policy.name().to_string(),
@@ -174,7 +176,14 @@ pub fn figure8() -> Vec<Table> {
 fn normalised_table(label: &str) -> Table {
     Table::new(
         label,
-        &["graph", "Ligra (t=1)", "Gemini (t=1)", "GraphIt", "ForkGraph", "ForkGraph speedup vs best GPS"],
+        &[
+            "graph",
+            "Ligra (t=1)",
+            "Gemini (t=1)",
+            "GraphIt",
+            "ForkGraph",
+            "ForkGraph speedup vs best GPS",
+        ],
     )
 }
 
@@ -185,14 +194,24 @@ pub fn figure9() -> Vec<Table> {
 
     // (a) BC on all eight graphs: a batch of SSSPs from sampled sources.
     {
-        let mut table = normalised_table("Figure 9a — BC (normalised to Ligra t=1, lower is better)");
+        let mut table =
+            normalised_table("Figure 9a — BC (normalised to Ligra t=1, lower is better)");
         for spec in datasets::all() {
             let graph = Arc::new(weighted(&spec));
             let workload = Workload::sssp(sources(&graph, 8, 9));
-            let ligra = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let gemini = run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let graphit = run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::IntraQuery, None);
-            let fork = run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, forkgraph_sssp_config(), None);
+            let ligra =
+                run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let gemini =
+                run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let graphit =
+                run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::IntraQuery, None);
+            let fork = run_forkgraph(
+                &graph,
+                &workload,
+                scaled_llc().capacity_bytes,
+                forkgraph_sssp_config(),
+                None,
+            );
             let base = ligra.seconds().max(1e-9);
             let best_gps = ligra.seconds().min(gemini.seconds()).min(graphit.seconds());
             table.push_row([
@@ -213,10 +232,19 @@ pub fn figure9() -> Vec<Table> {
         for spec in datasets::ncp_graphs() {
             let graph = Arc::new(unweighted(&spec));
             let workload = Workload::ppr(sources(&graph, 16, 11), ppr_config());
-            let ligra = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let gemini = run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let graphit = run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let fork = run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, forkgraph_ppr_config(), None);
+            let ligra =
+                run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let gemini =
+                run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let graphit =
+                run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let fork = run_forkgraph(
+                &graph,
+                &workload,
+                scaled_llc().capacity_bytes,
+                forkgraph_ppr_config(),
+                None,
+            );
             let base = ligra.seconds().max(1e-9);
             let best_gps = ligra.seconds().min(gemini.seconds()).min(graphit.seconds());
             table.push_row([
@@ -237,10 +265,19 @@ pub fn figure9() -> Vec<Table> {
         for spec in [datasets::CA, datasets::US, datasets::EU, datasets::WK, datasets::PT] {
             let graph = Arc::new(weighted(&spec));
             let workload = Workload::sssp(sources(&graph, 16, 13));
-            let ligra = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let gemini = run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
-            let graphit = run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::IntraQuery, None);
-            let fork = run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, forkgraph_sssp_config(), None);
+            let ligra =
+                run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let gemini =
+                run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, None);
+            let graphit =
+                run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::IntraQuery, None);
+            let fork = run_forkgraph(
+                &graph,
+                &workload,
+                scaled_llc().capacity_bytes,
+                forkgraph_sssp_config(),
+                None,
+            );
             let base = ligra.seconds().max(1e-9);
             let best_gps = ligra.seconds().min(gemini.seconds()).min(graphit.seconds());
             table.push_row([
@@ -293,14 +330,14 @@ pub fn table3() -> Vec<Table> {
     let fork_runs: Vec<Measurement> = graphs
         .iter()
         .zip(workloads.iter())
-        .map(|(g, w)| run_forkgraph(g, w, scaled_llc().capacity_bytes, forkgraph_ppr_config(), None))
+        .map(|(g, w)| {
+            run_forkgraph(g, w, scaled_llc().capacity_bytes, forkgraph_ppr_config(), None)
+        })
         .collect();
     rows.push(("ForkGraph".to_string(), fork_runs));
 
     for (label, runs) in &rows {
-        time_table.push_row(
-            std::iter::once(label.clone()).chain(runs.iter().map(secs)),
-        );
+        time_table.push_row(std::iter::once(label.clone()).chain(runs.iter().map(secs)));
         mem_table.push_row(std::iter::once(label.clone()).chain(runs.iter().map(|m| {
             fmt_f64(m.memory.map(|mem| mem.total_bytes() as f64 / (1024.0 * 1024.0)).unwrap_or(0.0))
         })));
@@ -341,18 +378,40 @@ pub fn figure10() -> Vec<Table> {
     ];
     let mut miss_table = Table::new(
         "Figure 10a — simulated #LLC misses",
-        &["workload", "Ligra (t=cores)", "Ligra (t=1)", "Gemini (t=1)", "GraphIt (t=1)", "ForkGraph", "Sequential"],
+        &[
+            "workload",
+            "Ligra (t=cores)",
+            "Ligra (t=1)",
+            "Gemini (t=1)",
+            "GraphIt (t=1)",
+            "ForkGraph",
+            "Sequential",
+        ],
     );
     let mut work_table = Table::new(
         "Figure 10b — #edges processed",
-        &["workload", "Ligra (t=cores)", "Ligra (t=1)", "Gemini (t=1)", "GraphIt (t=1)", "ForkGraph", "Sequential"],
+        &[
+            "workload",
+            "Ligra (t=cores)",
+            "Ligra (t=1)",
+            "Gemini (t=1)",
+            "GraphIt (t=1)",
+            "ForkGraph",
+            "Sequential",
+        ],
     );
     for (label, graph, workload, fork_config) in cases {
         let runs = [
             run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::IntraQuery, Some(llc)),
             run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, Some(llc)),
             run_baseline(System::Gemini, &graph, &workload, ExecutionScheme::InterQuery, Some(llc)),
-            run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::InterQuery, Some(llc)),
+            run_baseline(
+                System::GraphIt,
+                &graph,
+                &workload,
+                ExecutionScheme::InterQuery,
+                Some(llc),
+            ),
             run_forkgraph(&graph, &workload, llc.capacity_bytes, fork_config, Some(llc)),
         ];
         // Sequential baseline: the best sequential algorithm per query.
@@ -360,9 +419,13 @@ pub fn figure10() -> Vec<Table> {
             .sources
             .iter()
             .map(|&s| match &workload.kind {
-                fg_baselines::fpp::QueryKind::Sssp => fg_seq::dijkstra::dijkstra(&graph, s).edges_processed,
+                fg_baselines::fpp::QueryKind::Sssp => {
+                    fg_seq::dijkstra::dijkstra(&graph, s).edges_processed
+                }
                 fg_baselines::fpp::QueryKind::Bfs => fg_seq::bfs::bfs(&graph, s).edges_processed,
-                fg_baselines::fpp::QueryKind::Ppr(c) => fg_seq::ppr::ppr_push(&graph, s, c).edges_processed,
+                fg_baselines::fpp::QueryKind::Ppr(c) => {
+                    fg_seq::ppr::ppr_push(&graph, s, c).edges_processed
+                }
             })
             .sum();
         miss_table.push_row(
@@ -473,8 +536,8 @@ pub fn table4b() -> Vec<Table> {
     );
     let factors = [("0.25mu", 0.25), ("0.5mu", 0.5), ("mu", 1.0), ("2mu", 2.0), ("4mu", 4.0)];
     for (label, factor) in factors {
-        let config = EngineConfig::default()
-            .with_yield_policy(YieldPolicy::EdgeBudgetAuto { factor });
+        let config =
+            EngineConfig::default().with_yield_policy(YieldPolicy::EdgeBudgetAuto { factor });
         let m = run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, config, None);
         table.push_row([
             label.to_string(),
@@ -509,10 +572,11 @@ pub fn table4c() -> Vec<Table> {
         "Table 4C — yielding heuristic 2 (value range, multiples of delta)",
         &["threshold", "execution time (s)", "edges processed", "yields"],
     );
-    for (label, mult) in [("0.25delta", 0.25), ("0.5delta", 0.5), ("delta", 1.0), ("2delta", 2.0), ("4delta", 4.0)] {
+    for (label, mult) in
+        [("0.25delta", 0.25), ("0.5delta", 0.5), ("delta", 1.0), ("2delta", 2.0), ("4delta", 4.0)]
+    {
         let delta = ((base_delta as f64) * mult).ceil() as u64;
-        let config =
-            EngineConfig::default().with_yield_policy(YieldPolicy::ValueRange { delta });
+        let config = EngineConfig::default().with_yield_policy(YieldPolicy::ValueRange { delta });
         let m = run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, config, None);
         table.push_row([
             label.to_string(),
@@ -575,7 +639,9 @@ pub fn table5() -> Vec<Table> {
         assert!(grouped >= num_queries.min(num_ops));
         start.elapsed().as_secs_f64() * 1e3
     };
-    for (label, method) in [("Sort", ConsolidationMethod::Sort), ("Scan", ConsolidationMethod::Scan)] {
+    for (label, method) in
+        [("Sort", ConsolidationMethod::Sort), ("Scan", ConsolidationMethod::Scan)]
+    {
         table.push_row([
             label.to_string(),
             fmt_f64(time_it(method, 1)),
@@ -625,7 +691,8 @@ pub fn figure13() -> Vec<Table> {
             push(format!("{} ({label})", system.name()), &m);
         }
     }
-    let fork = run_forkgraph(&graph, &workload, llc.capacity_bytes, forkgraph_ppr_config(), Some(llc));
+    let fork =
+        run_forkgraph(&graph, &workload, llc.capacity_bytes, forkgraph_ppr_config(), Some(llc));
     push("ForkGraph".to_string(), &fork);
     vec![table]
 }
@@ -652,8 +719,14 @@ pub fn figure14() -> Vec<Table> {
         for threads in 1..=max_threads {
             let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
             let elapsed = pool.install(|| {
-                run_forkgraph(&graph, &workload, scaled_llc().capacity_bytes, forkgraph_ppr_config(), None)
-                    .seconds()
+                run_forkgraph(
+                    &graph,
+                    &workload,
+                    scaled_llc().capacity_bytes,
+                    forkgraph_ppr_config(),
+                    None,
+                )
+                .seconds()
             });
             times.push(elapsed);
         }
@@ -677,15 +750,19 @@ pub fn figure15() -> Vec<Table> {
     let mut headers: Vec<String> = vec!["query type".to_string()];
     headers.extend(counts.iter().map(|c| format!("|Q|={c}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new("Figure 15 — normalised throughput vs number of queries", &header_refs);
+    let mut table =
+        Table::new("Figure 15 — normalised throughput vs number of queries", &header_refs);
 
     let social = datasets::LJ.scaled(0.06);
     let road = datasets::US.generate_weighted(0.03);
-    let pg_social = PartitionedGraph::build(&social, PartitionConfig::llc_sized(scaled_llc().capacity_bytes));
-    let pg_road = PartitionedGraph::build(&road, PartitionConfig::llc_sized(scaled_llc().capacity_bytes));
+    let pg_social =
+        PartitionedGraph::build(&social, PartitionConfig::llc_sized(scaled_llc().capacity_bytes));
+    let pg_road =
+        PartitionedGraph::build(&road, PartitionConfig::llc_sized(scaled_llc().capacity_bytes));
 
     let mut run_series = |label: &str, run: &mut dyn FnMut(&[VertexId]) -> f64| {
-        let graph_n = if label.contains("Us") { road.num_vertices() } else { social.num_vertices() };
+        let graph_n =
+            if label.contains("Us") { road.num_vertices() } else { social.num_vertices() };
         let mut throughputs = Vec::new();
         for &count in &counts {
             let srcs: Vec<VertexId> = fg_apps::sample_sources(graph_n, count, 71);
@@ -694,51 +771,44 @@ pub fn figure15() -> Vec<Table> {
         }
         let base = throughputs[0].max(1e-9);
         table.push_row(
-            std::iter::once(label.to_string())
-                .chain(throughputs.iter().map(|t| fmt_f64(t / base))),
+            std::iter::once(label.to_string()).chain(throughputs.iter().map(|t| fmt_f64(t / base))),
         );
     };
 
     let ppr = ppr_config();
-    run_series(
-        "PPR on Lj",
-        &mut |srcs| {
-            ForkGraphEngine::new(&pg_social, forkgraph_ppr_config()).run_ppr(srcs, &ppr).measurement.seconds()
-        },
-    );
-    run_series(
-        "DFS on Lj",
-        &mut |srcs| {
-            ForkGraphEngine::new(&pg_social, forkgraph_sssp_config()).run_dfs(srcs).measurement.seconds()
-        },
-    );
-    run_series(
-        "RW on Us",
-        &mut |srcs| {
-            let config = fg_seq::random_walk::RandomWalkConfig {
-                num_walks: 8,
-                walk_length: 32,
-                restart_prob: 0.0,
-                seed: 5,
-            };
-            ForkGraphEngine::new(&pg_road, forkgraph_sssp_config())
-                .run_random_walks(srcs, &config)
-                .measurement
-                .seconds()
-        },
-    );
-    run_series(
-        "SSSP on Us",
-        &mut |srcs| {
-            ForkGraphEngine::new(&pg_road, forkgraph_sssp_config()).run_sssp(srcs).measurement.seconds()
-        },
-    );
-    run_series(
-        "BFS on Lj",
-        &mut |srcs| {
-            ForkGraphEngine::new(&pg_social, forkgraph_sssp_config()).run_bfs(srcs).measurement.seconds()
-        },
-    );
+    run_series("PPR on Lj", &mut |srcs| {
+        ForkGraphEngine::new(&pg_social, forkgraph_ppr_config())
+            .run_ppr(srcs, &ppr)
+            .measurement
+            .seconds()
+    });
+    run_series("DFS on Lj", &mut |srcs| {
+        ForkGraphEngine::new(&pg_social, forkgraph_sssp_config())
+            .run_dfs(srcs)
+            .measurement
+            .seconds()
+    });
+    run_series("RW on Us", &mut |srcs| {
+        let config = fg_seq::random_walk::RandomWalkConfig {
+            num_walks: 8,
+            walk_length: 32,
+            restart_prob: 0.0,
+            seed: 5,
+        };
+        ForkGraphEngine::new(&pg_road, forkgraph_sssp_config())
+            .run_random_walks(srcs, &config)
+            .measurement
+            .seconds()
+    });
+    run_series("SSSP on Us", &mut |srcs| {
+        ForkGraphEngine::new(&pg_road, forkgraph_sssp_config()).run_sssp(srcs).measurement.seconds()
+    });
+    run_series("BFS on Lj", &mut |srcs| {
+        ForkGraphEngine::new(&pg_social, forkgraph_sssp_config())
+            .run_bfs(srcs)
+            .measurement
+            .seconds()
+    });
     vec![table]
 }
 
@@ -785,9 +855,7 @@ pub fn figure16() -> Vec<Table> {
             })
             .collect();
         let base = times[2].max(1e-9);
-        table.push_row(
-            std::iter::once(label).chain(times.iter().map(|t| fmt_f64(t / base))),
-        );
+        table.push_row(std::iter::once(label).chain(times.iter().map(|t| fmt_f64(t / base))));
     }
     vec![table]
 }
@@ -840,7 +908,11 @@ pub fn atomic_free() -> Vec<Table> {
     // Atomic-based frontier SSSP (Ligra).
     let workload = Workload::sssp(srcs.clone());
     let ligra = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
-    table.push_row(["Ligra frontier (atomic, t=1)".to_string(), secs(&ligra), ligra.work.edges_processed.to_string()]);
+    table.push_row([
+        "Ligra frontier (atomic, t=1)".to_string(),
+        secs(&ligra),
+        ligra.work.edges_processed.to_string(),
+    ]);
     // Atomic-free topology-driven SSSP.
     let counters = WorkCounters::new();
     let start = Instant::now();
@@ -855,7 +927,8 @@ pub fn atomic_free() -> Vec<Table> {
     ]);
     // Sequential Dijkstra.
     let start = Instant::now();
-    let seq_edges: u64 = srcs.iter().map(|&s| fg_seq::dijkstra::dijkstra(&graph, s).edges_processed).sum();
+    let seq_edges: u64 =
+        srcs.iter().map(|&s| fg_seq::dijkstra::dijkstra(&graph, s).edges_processed).sum();
     table.push_row([
         "Sequential Dijkstra".to_string(),
         fmt_f64(start.elapsed().as_secs_f64()),
@@ -885,8 +958,11 @@ pub fn table2() -> Vec<Table> {
     vec![table]
 }
 
+/// A named paper-reproduction experiment.
+pub type Experiment = (&'static str, fn() -> Vec<Table>);
+
 /// All experiments with their canonical names, in paper order.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("table1", table1),
         ("figure1", figure1),
@@ -927,7 +1003,9 @@ mod tests {
     fn fast_experiments_produce_tables() {
         // Exercise the cheapest experiments end-to-end; the expensive ones are
         // covered by the repro binary run recorded in EXPERIMENTS.md.
-        for (name, f) in [("figure8", figure8 as fn() -> Vec<Table>), ("table5", table5), ("table2", table2)] {
+        for (name, f) in
+            [("figure8", figure8 as fn() -> Vec<Table>), ("table5", table5), ("table2", table2)]
+        {
             let tables = f();
             assert!(!tables.is_empty(), "{name}");
             assert!(tables.iter().all(|t| t.num_rows() > 0), "{name}");

@@ -149,7 +149,8 @@ mod tests {
     fn baseline_and_forkgraph_runners_produce_measurements() {
         let graph = Arc::new(gen::rmat(8, 5, 1).with_random_weights(6, 1));
         let workload = Workload::sssp(vec![0, 3, 9]);
-        let base = run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
+        let base =
+            run_baseline(System::Ligra, &graph, &workload, ExecutionScheme::InterQuery, None);
         assert!(base.work.edges_processed > 0);
         let fork = run_forkgraph(&graph, &workload, 64 * 1024, forkgraph_sssp_config(), None);
         assert!(fork.work.edges_processed > 0);
@@ -161,10 +162,21 @@ mod tests {
         let graph = Arc::new(gen::rmat(8, 5, 2));
         let workload = Workload::bfs(vec![0, 1, 2, 3]);
         let llc = scaled_llc();
-        let base =
-            run_baseline(System::GraphIt, &graph, &workload, ExecutionScheme::InterQuery, Some(llc));
+        let base = run_baseline(
+            System::GraphIt,
+            &graph,
+            &workload,
+            ExecutionScheme::InterQuery,
+            Some(llc),
+        );
         assert!(base.cache.unwrap().misses > 0);
-        let fork = run_forkgraph(&graph, &workload, llc.capacity_bytes, forkgraph_sssp_config(), Some(llc));
+        let fork = run_forkgraph(
+            &graph,
+            &workload,
+            llc.capacity_bytes,
+            forkgraph_sssp_config(),
+            Some(llc),
+        );
         assert!(fork.cache.unwrap().accesses > 0);
     }
 

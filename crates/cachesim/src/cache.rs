@@ -34,7 +34,11 @@ impl CacheConfig {
 
     /// The paper's Xeon W-2155 LLC (13.75 MiB, 64-byte lines, 11-way).
     pub fn xeon_w2155_llc() -> Self {
-        CacheConfig { capacity_bytes: 13 * 1024 * 1024 + 768 * 1024, line_bytes: 64, associativity: 11 }
+        CacheConfig {
+            capacity_bytes: 13 * 1024 * 1024 + 768 * 1024,
+            line_bytes: 64,
+            associativity: 11,
+        }
     }
 
     /// A tiny cache used in unit tests.

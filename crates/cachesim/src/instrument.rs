@@ -23,7 +23,10 @@ pub struct GraphAccessTracer {
 impl GraphAccessTracer {
     /// A tracer that records into a fresh shared cache of the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        GraphAccessTracer { line_bytes: config.line_bytes as u64, cache: Some(SharedCacheSim::new(config)) }
+        GraphAccessTracer {
+            line_bytes: config.line_bytes as u64,
+            cache: Some(SharedCacheSim::new(config)),
+        }
     }
 
     /// A disabled tracer: every call is a no-op.
@@ -45,7 +48,10 @@ impl GraphAccessTracer {
     #[inline]
     pub fn adjacency_scan(&self, adjacency_offset: u64, degree: usize) {
         if let Some(cache) = &self.cache {
-            cache.access(element_addr(region_ids::CSR_OFFSETS, adjacency_offset, 8), AccessKind::Read);
+            cache.access(
+                element_addr(region_ids::CSR_OFFSETS, adjacency_offset, 8),
+                AccessKind::Read,
+            );
             if degree == 0 {
                 return;
             }

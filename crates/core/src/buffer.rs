@@ -81,7 +81,10 @@ impl<V: Copy> PartitionBuffer<V> {
     /// (query-centric consolidation). The groups are sorted by query id;
     /// operations within a group keep their buffer order (the kernel applies
     /// its own priority ordering).
-    pub fn drain_consolidated(&mut self, method: ConsolidationMethod) -> Vec<(u32, Vec<Operation<V>>)> {
+    pub fn drain_consolidated(
+        &mut self,
+        method: ConsolidationMethod,
+    ) -> Vec<(u32, Vec<Operation<V>>)> {
         let mut groups: Vec<(u32, Vec<Operation<V>>)> = Vec::new();
         for bucket in &mut self.buckets {
             if bucket.is_empty() {
@@ -161,7 +164,8 @@ pub fn consolidate<V: Copy>(
         ConsolidationMethod::Scan => {
             let mut groups = Vec::new();
             for q in 0..num_queries as u32 {
-                let list: Vec<Operation<V>> = ops.iter().filter(|op| op.query == q).copied().collect();
+                let list: Vec<Operation<V>> =
+                    ops.iter().filter(|op| op.query == q).copied().collect();
                 if !list.is_empty() {
                     groups.push((q, list));
                 }

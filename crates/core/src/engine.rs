@@ -21,7 +21,9 @@ use fg_cachesim::{CacheConfig, GraphAccessTracer};
 use fg_graph::partition::PartitionId;
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::{CsrGraph, Dist, VertexId};
-use fg_metrics::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch, WorkCounters, WorkSnapshot};
+use fg_metrics::{
+    CacheNumbers, Measurement, MemoryEstimate, Stopwatch, WorkCounters, WorkSnapshot,
+};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
 
@@ -160,6 +162,45 @@ impl<S> ForkGraphRunResult<S> {
     pub fn work(&self) -> &WorkSnapshot {
         &self.measurement.work
     }
+
+    /// Pair each query's final state with the source it was launched from.
+    ///
+    /// `sources` must be the slice that was passed to [`ForkGraphEngine::run`]
+    /// for this result (`per_query` is in source order). This is the
+    /// demultiplexing primitive used by `fg-service` to hand a consolidated
+    /// batch's per-query results back to individual submitters.
+    ///
+    /// # Panics
+    /// Panics if `sources.len() != self.per_query.len()`.
+    pub fn per_source<'a>(
+        &'a self,
+        sources: &'a [VertexId],
+    ) -> impl ExactSizeIterator<Item = (VertexId, &'a S)> + 'a {
+        assert_eq!(
+            sources.len(),
+            self.per_query.len(),
+            "per_source: {} sources for {} query results",
+            sources.len(),
+            self.per_query.len()
+        );
+        sources.iter().copied().zip(self.per_query.iter())
+    }
+
+    /// Consuming variant of [`Self::per_source`]: split the result into owned
+    /// `(source, state)` pairs, dropping the shared measurement.
+    ///
+    /// # Panics
+    /// Panics if `sources.len() != self.per_query.len()`.
+    pub fn into_per_source(self, sources: &[VertexId]) -> Vec<(VertexId, S)> {
+        assert_eq!(
+            sources.len(),
+            self.per_query.len(),
+            "into_per_source: {} sources for {} query results",
+            sources.len(),
+            self.per_query.len()
+        );
+        sources.iter().copied().zip(self.per_query).collect()
+    }
 }
 
 /// Outcome of one query's processing during one partition visit.
@@ -195,7 +236,11 @@ impl<'g> ForkGraphEngine<'g> {
     }
 
     /// Run a batch of queries of kernel `K`, one from each source vertex.
-    pub fn run<K: FppKernel>(&self, kernel: &K, sources: &[VertexId]) -> ForkGraphRunResult<K::State> {
+    pub fn run<K: FppKernel>(
+        &self,
+        kernel: &K,
+        sources: &[VertexId],
+    ) -> ForkGraphRunResult<K::State> {
         let graph = self.pg.graph();
         let num_partitions = self.pg.num_partitions();
         let num_queries = sources.len();
@@ -353,11 +398,8 @@ impl<'g> ForkGraphEngine<'g> {
         }
 
         loop {
-            let op = if self.config.consolidate {
-                heap.pop().map(|e| e.op)
-            } else {
-                fifo.pop_front()
-            };
+            let op =
+                if self.config.consolidate { heap.pop().map(|e| e.op) } else { fifo.pop_front() };
             let Some(op) = op else { break };
 
             if yielded {
@@ -373,20 +415,21 @@ impl<'g> ForkGraphEngine<'g> {
 
             let vertex = op.vertex;
             let mut emitted_local = 0usize;
-            let edges = kernel.process(graph, state, vertex, op.value, &mut |t, value, priority| {
-                let new_op = Operation::new(query, t, value, priority);
-                let target_partition = self.pg.partition_of(t);
-                if target_partition == partition {
-                    if self.config.consolidate {
-                        heap.push(HeapEntry { op: new_op });
+            let edges =
+                kernel.process(graph, state, vertex, op.value, &mut |t, value, priority| {
+                    let new_op = Operation::new(query, t, value, priority);
+                    let target_partition = self.pg.partition_of(t);
+                    if target_partition == partition {
+                        if self.config.consolidate {
+                            heap.push(HeapEntry { op: new_op });
+                        } else {
+                            fifo.push_back(new_op);
+                        }
+                        emitted_local += 1;
                     } else {
-                        fifo.push_back(new_op);
+                        remote.push((target_partition, new_op));
                     }
-                    emitted_local += 1;
-                } else {
-                    remote.push((target_partition, new_op));
-                }
-            });
+                });
             counters.add_operations(1);
             counters.add_edges(edges);
             checker.record_edges(edges);
@@ -433,7 +476,10 @@ impl<'g> ForkGraphEngine<'g> {
     }
 
     /// Run DFS-flavoured reachability queries from every source.
-    pub fn run_dfs(&self, sources: &[VertexId]) -> ForkGraphRunResult<crate::kernels::dfs::DfsState> {
+    pub fn run_dfs(
+        &self,
+        sources: &[VertexId],
+    ) -> ForkGraphRunResult<crate::kernels::dfs::DfsState> {
         self.run(&DfsKernel, sources)
     }
 
@@ -499,7 +545,8 @@ mod tests {
         let sources: Vec<VertexId> = vec![1, 50, 500];
         let oracle: Vec<Vec<Dist>> =
             sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).dist).collect();
-        let config = EngineConfig::default().with_yield_policy(YieldPolicy::ValueRange { delta: 8 });
+        let config =
+            EngineConfig::default().with_yield_policy(YieldPolicy::ValueRange { delta: 8 });
         let result = ForkGraphEngine::new(&pg, config).run_sssp(&sources);
         assert_eq!(result.per_query, oracle);
         assert!(result.work().yields > 0, "value-range yielding should trigger on a road graph");
@@ -510,7 +557,8 @@ mod tests {
         let g = gen::rmat(9, 6, 13);
         let pg = partitioned(&g, 5);
         let sources: Vec<VertexId> = vec![0, 9, 100];
-        let oracle: Vec<Vec<u32>> = sources.iter().map(|&s| fg_seq::bfs::bfs(&g, s).level).collect();
+        let oracle: Vec<Vec<u32>> =
+            sources.iter().map(|&s| fg_seq::bfs::bfs(&g, s).level).collect();
         let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
         assert_eq!(engine.run_bfs(&sources).per_query, oracle);
     }
@@ -541,13 +589,14 @@ mod tests {
         let reference = fg_seq::dfs::dfs(&g, 0);
         let reached = dfs.per_query[0].order.iter().filter(|&&o| o != u32::MAX).count();
         assert_eq!(reached, reference.num_reached());
-        let rw_config = RandomWalkConfig { num_walks: 4, walk_length: 8, restart_prob: 0.0, seed: 3 };
+        let rw_config =
+            RandomWalkConfig { num_walks: 4, walk_length: 8, restart_prob: 0.0, seed: 3 };
         let rw = engine.run_random_walks(&[0, 5], &rw_config);
         assert_eq!(rw.per_query[0].total_visits(), 4 * 9);
     }
 
     #[test]
-    fn work_is_within_a_constant_factor_of_sequential(){
+    fn work_is_within_a_constant_factor_of_sequential() {
         // Theorem A.3: ForkGraph's work per query stays within a constant
         // factor of Dijkstra's; the paper measures 5.2–16.7x. Use a generous
         // bound to keep the test robust across partitionings.
@@ -567,11 +616,9 @@ mod tests {
         let g = datasets::CA.generate_weighted(0.05);
         let pg = partitioned(&g, 8);
         let sources: Vec<VertexId> = (0..6).map(|i| (i * 131) % g.num_vertices() as u32).collect();
-        let no_yield = ForkGraphEngine::new(
-            &pg,
-            EngineConfig::default().with_yield_policy(YieldPolicy::None),
-        )
-        .run_sssp(&sources);
+        let no_yield =
+            ForkGraphEngine::new(&pg, EngineConfig::default().with_yield_policy(YieldPolicy::None))
+                .run_sssp(&sources);
         let with_yield = ForkGraphEngine::new(&pg, EngineConfig::default()).run_sssp(&sources);
         assert_eq!(no_yield.per_query, with_yield.per_query);
         assert!(
@@ -603,6 +650,53 @@ mod tests {
         assert!(cache.accesses > 0 && cache.misses > 0);
         assert!(result.measurement.memory.unwrap().total_bytes() > 0);
         assert_eq!(result.measurement.label, "ForkGraph");
+    }
+
+    #[test]
+    fn per_source_pairs_results_with_their_sources() {
+        let g = gen::erdos_renyi(200, 1200, 31).with_random_weights(8, 31);
+        let pg = partitioned(&g, 4);
+        let sources: Vec<VertexId> = vec![5, 0, 77];
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let result = engine.run_sssp(&sources);
+
+        let paired: Vec<(VertexId, &Vec<Dist>)> = result.per_source(&sources).collect();
+        assert_eq!(paired.len(), sources.len());
+        for (i, &(source, dist)) in paired.iter().enumerate() {
+            assert_eq!(source, sources[i]);
+            assert_eq!(dist, &fg_seq::dijkstra::dijkstra(&g, source).dist);
+            assert_eq!(dist[source as usize], 0, "distance to self is zero");
+        }
+
+        let owned = result.into_per_source(&sources);
+        assert_eq!(owned.len(), sources.len());
+        for (i, (source, dist)) in owned.into_iter().enumerate() {
+            assert_eq!(source, sources[i]);
+            assert_eq!(dist, fg_seq::dijkstra::dijkstra(&g, source).dist);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per_source")]
+    fn per_source_rejects_mismatched_source_slice() {
+        let g = gen::rmat(7, 5, 37);
+        let pg = partitioned(&g, 2);
+        let result = ForkGraphEngine::new(&pg, EngineConfig::default()).run_bfs(&[0, 1]);
+        let _ = result.per_source(&[0]).count();
+    }
+
+    #[test]
+    fn engine_handle_is_reusable_across_runs() {
+        // The service layer keeps one engine alive and drives many batches
+        // through it; repeated runs must be independent and deterministic.
+        let g = gen::erdos_renyi(150, 900, 41).with_random_weights(8, 41);
+        let pg = partitioned(&g, 3);
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+        let first = engine.run_sssp(&[3, 9]);
+        let second = engine.run_sssp(&[9]);
+        let third = engine.run_sssp(&[3, 9]);
+        assert_eq!(first.per_query, third.per_query);
+        assert_eq!(first.per_query[1], second.per_query[0]);
     }
 
     #[test]

@@ -84,7 +84,8 @@ mod tests {
         let (v0, p0) = kernel.source_op(source);
         heap.push(HeapEntry { op: Operation::new(0, source, v0, p0) });
         while let Some(entry) = heap.pop() {
-            kernel.process(graph, &mut state, entry.op.vertex, entry.op.value, &mut |t, val, pri| {
+            let _: () = entry.op.value;
+            kernel.process(graph, &mut state, entry.op.vertex, (), &mut |t, val, pri| {
                 heap.push(HeapEntry { op: Operation::new(0, t, val, pri) });
             });
         }
@@ -110,8 +111,7 @@ mod tests {
     fn discovery_indices_are_unique_and_contiguous() {
         let g = gen::grid2d(8, 8, 0.1, 1);
         let state = run_unpartitioned(&g, 0);
-        let mut seen: Vec<u32> =
-            state.order.iter().copied().filter(|&o| o != u32::MAX).collect();
+        let mut seen: Vec<u32> = state.order.iter().copied().filter(|&o| o != u32::MAX).collect();
         seen.sort_unstable();
         for (i, o) in seen.iter().enumerate() {
             assert_eq!(*o, i as u32);

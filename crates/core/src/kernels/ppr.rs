@@ -41,7 +41,7 @@ impl PprState {
 }
 
 /// Personalized-PageRank kernel.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PprKernel {
     /// Push thresholds and teleport probability.
     pub config: PprConfig,
@@ -60,12 +60,6 @@ impl PprKernel {
             return Priority::MAX;
         }
         (1.0 / residual_share).min(1e15) as Priority
-    }
-}
-
-impl Default for PprKernel {
-    fn default() -> Self {
-        PprKernel { config: PprConfig::default() }
     }
 }
 
@@ -169,8 +163,7 @@ mod tests {
         let config = PprConfig { epsilon: 1e-6, ..Default::default() };
         let state = run_unpartitioned(&g, 2, config);
         let reference = fg_seq::ppr::ppr_push(&g, 2, &config).dense(g.num_vertices());
-        let l1: f64 =
-            state.estimate.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let l1: f64 = state.estimate.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 < 0.05, "l1 distance {l1}");
         // Seed carries the largest estimate in both.
         let best = state
@@ -189,8 +182,7 @@ mod tests {
         let kernel = PprKernel::new(PprConfig { epsilon: 0.1, ..Default::default() });
         let mut state = kernel.init_state(&g);
         let mut emitted = 0usize;
-        let edges =
-            kernel.process(&g, &mut state, 0, 1e-6, &mut |_, _, _| emitted += 1);
+        let edges = kernel.process(&g, &mut state, 0, 1e-6, &mut |_, _, _| emitted += 1);
         assert_eq!(edges, 0);
         assert_eq!(emitted, 0);
         assert!(state.residual[0] > 0.0);

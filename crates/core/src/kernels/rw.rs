@@ -37,7 +37,7 @@ impl RwState {
 }
 
 /// Random-walk kernel.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RandomWalkKernel {
     /// Walk length, walker count, and restart probability.
     pub config: RandomWalkConfig,
@@ -55,12 +55,6 @@ impl RandomWalkKernel {
         x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x ^= x >> 27;
         x
-    }
-}
-
-impl Default for RandomWalkKernel {
-    fn default() -> Self {
-        RandomWalkKernel { config: RandomWalkConfig::default() }
     }
 }
 
@@ -151,9 +145,15 @@ mod tests {
         let (v0, p0) = kernel.source_op(source);
         heap.push(HeapEntry { op: Operation::new(0, source, v0, p0) });
         while let Some(entry) = heap.pop() {
-            kernel.process(graph, &mut state, entry.op.vertex, entry.op.value, &mut |t, val, pri| {
-                heap.push(HeapEntry { op: Operation::new(0, t, val, pri) });
-            });
+            kernel.process(
+                graph,
+                &mut state,
+                entry.op.vertex,
+                entry.op.value,
+                &mut |t, val, pri| {
+                    heap.push(HeapEntry { op: Operation::new(0, t, val, pri) });
+                },
+            );
         }
         state
     }

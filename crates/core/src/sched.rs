@@ -20,7 +20,7 @@ use fg_graph::partition::PartitionId;
 use crate::buffer::PartitionBuffer;
 
 /// Inter-partition scheduling policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SchedulingPolicy {
     /// Pick an arbitrary non-empty partition.
     Random {
@@ -32,6 +32,7 @@ pub enum SchedulingPolicy {
     /// Pick partitions in the order their buffers became non-empty.
     Fifo,
     /// Pick the partition with the best (lowest) buffered priority.
+    #[default]
     Priority,
 }
 
@@ -54,12 +55,6 @@ impl SchedulingPolicy {
             SchedulingPolicy::Fifo => "fifo",
             SchedulingPolicy::Priority => "priority",
         }
-    }
-}
-
-impl Default for SchedulingPolicy {
-    fn default() -> Self {
-        SchedulingPolicy::Priority
     }
 }
 
@@ -134,7 +129,8 @@ mod tests {
 
     #[test]
     fn returns_none_when_all_buffers_empty() {
-        let buffers: Vec<PartitionBuffer<u64>> = vec![PartitionBuffer::new(2), PartitionBuffer::new(2)];
+        let buffers: Vec<PartitionBuffer<u64>> =
+            vec![PartitionBuffer::new(2), PartitionBuffer::new(2)];
         let mut s = Scheduler::new(SchedulingPolicy::Priority);
         assert_eq!(s.next(&buffers), None);
     }

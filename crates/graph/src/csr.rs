@@ -231,11 +231,8 @@ impl CsrGraph {
     /// An upper bound on any finite shortest-path distance in this graph
     /// (`|V| * max_weight`), useful for Δ-stepping bucket sizing.
     pub fn max_distance_bound(&self) -> Dist {
-        let max_w = self
-            .weights
-            .as_ref()
-            .and_then(|w| w.iter().max().copied())
-            .unwrap_or(1) as Dist;
+        let max_w =
+            self.weights.as_ref().and_then(|w| w.iter().max().copied()).unwrap_or(1) as Dist;
         self.num_vertices() as Dist * max_w.max(1)
     }
 }

@@ -59,7 +59,9 @@ impl DatasetSpec {
                 let scale_log = (n as f64).log2().ceil() as u32;
                 gen::rmat(scale_log, (self.avg_degree / 2).max(1), self.seed)
             }
-            GraphFamily::Citation => gen::preferential_attachment(n, (self.avg_degree / 2).max(1), self.seed),
+            GraphFamily::Citation => {
+                gen::preferential_attachment(n, (self.avg_degree / 2).max(1), self.seed)
+            }
         }
     }
 
@@ -78,29 +80,69 @@ impl DatasetSpec {
 }
 
 /// California road network stand-in (1.9 M vertices in the paper).
-pub const CA: DatasetSpec =
-    DatasetSpec { name: "Ca", family: GraphFamily::Road, base_vertices: 16_384, avg_degree: 3, seed: 101 };
+pub const CA: DatasetSpec = DatasetSpec {
+    name: "Ca",
+    family: GraphFamily::Road,
+    base_vertices: 16_384,
+    avg_degree: 3,
+    seed: 101,
+};
 /// USA road network stand-in (23.9 M vertices in the paper).
-pub const US: DatasetSpec =
-    DatasetSpec { name: "Us", family: GraphFamily::Road, base_vertices: 40_000, avg_degree: 3, seed: 102 };
+pub const US: DatasetSpec = DatasetSpec {
+    name: "Us",
+    family: GraphFamily::Road,
+    base_vertices: 40_000,
+    avg_degree: 3,
+    seed: 102,
+};
 /// Europe road network stand-in (50.9 M vertices in the paper).
-pub const EU: DatasetSpec =
-    DatasetSpec { name: "Eu", family: GraphFamily::Road, base_vertices: 65_536, avg_degree: 3, seed: 103 };
+pub const EU: DatasetSpec = DatasetSpec {
+    name: "Eu",
+    family: GraphFamily::Road,
+    base_vertices: 65_536,
+    avg_degree: 3,
+    seed: 103,
+};
 /// Orkut social network stand-in (3.1 M vertices, avg degree 38).
-pub const OR: DatasetSpec =
-    DatasetSpec { name: "Or", family: GraphFamily::Social, base_vertices: 16_384, avg_degree: 30, seed: 104 };
+pub const OR: DatasetSpec = DatasetSpec {
+    name: "Or",
+    family: GraphFamily::Social,
+    base_vertices: 16_384,
+    avg_degree: 30,
+    seed: 104,
+};
 /// Wikipedia hyperlink graph stand-in (3.6 M vertices, avg degree 12.6).
-pub const WK: DatasetSpec =
-    DatasetSpec { name: "Wk", family: GraphFamily::Web, base_vertices: 16_384, avg_degree: 12, seed: 105 };
+pub const WK: DatasetSpec = DatasetSpec {
+    name: "Wk",
+    family: GraphFamily::Web,
+    base_vertices: 16_384,
+    avg_degree: 12,
+    seed: 105,
+};
 /// LiveJournal social network stand-in (4.8 M vertices, avg degree 18).
-pub const LJ: DatasetSpec =
-    DatasetSpec { name: "Lj", family: GraphFamily::Social, base_vertices: 32_768, avg_degree: 18, seed: 106 };
+pub const LJ: DatasetSpec = DatasetSpec {
+    name: "Lj",
+    family: GraphFamily::Social,
+    base_vertices: 32_768,
+    avg_degree: 18,
+    seed: 106,
+};
 /// Patents citation network stand-in (16.5 M vertices, avg degree 2).
-pub const PT: DatasetSpec =
-    DatasetSpec { name: "Pt", family: GraphFamily::Citation, base_vertices: 40_000, avg_degree: 2, seed: 107 };
+pub const PT: DatasetSpec = DatasetSpec {
+    name: "Pt",
+    family: GraphFamily::Citation,
+    base_vertices: 40_000,
+    avg_degree: 2,
+    seed: 107,
+};
 /// Twitter social network stand-in (61.6 M vertices, avg degree 23.8).
-pub const TW: DatasetSpec =
-    DatasetSpec { name: "Tw", family: GraphFamily::Social, base_vertices: 65_536, avg_degree: 24, seed: 108 };
+pub const TW: DatasetSpec = DatasetSpec {
+    name: "Tw",
+    family: GraphFamily::Social,
+    base_vertices: 65_536,
+    avg_degree: 24,
+    seed: 108,
+};
 
 /// All eight datasets in Table 2 order.
 pub fn all() -> [DatasetSpec; 8] {
@@ -155,7 +197,11 @@ mod tests {
     fn social_graphs_are_skewed() {
         let g = LJ.scaled(0.25);
         let max_deg = (0..g.num_vertices() as u32).map(|v| g.out_degree(v)).max().unwrap();
-        assert!(max_deg as f64 > 10.0 * g.avg_degree(), "social max degree {max_deg} avg {}", g.avg_degree());
+        assert!(
+            max_deg as f64 > 10.0 * g.avg_degree(),
+            "social max degree {max_deg} avg {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

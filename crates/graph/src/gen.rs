@@ -98,7 +98,11 @@ pub fn grid2d(rows: usize, cols: usize, extra_edge_prob: f64, seed: u64) -> CsrG
 /// `edges_per_vertex` existing vertices chosen proportionally to their current
 /// degree. Produces a power-law tail with low average degree, matching the
 /// Patents citation graph (average degree 2.0 in Table 2).
-pub fn preferential_attachment(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> CsrGraph {
+pub fn preferential_attachment(
+    num_vertices: usize,
+    edges_per_vertex: usize,
+    seed: u64,
+) -> CsrGraph {
     assert!(num_vertices >= 2, "need at least two vertices");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(num_vertices);
@@ -191,7 +195,8 @@ mod tests {
     #[test]
     fn rmat_degree_distribution_is_skewed() {
         let g = rmat(10, 8, 5);
-        let mut degrees: Vec<usize> = (0..g.num_vertices() as VertexId).map(|v| g.out_degree(v)).collect();
+        let mut degrees: Vec<usize> =
+            (0..g.num_vertices() as VertexId).map(|v| g.out_degree(v)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top = degrees[..degrees.len() / 100].iter().sum::<usize>() as f64;
         let total = degrees.iter().sum::<usize>() as f64;

@@ -205,32 +205,33 @@ pub fn read_metis<R: Read>(reader: R) -> Result<CsrGraph, IoError> {
     let edge_weighted = fmt.ends_with('1');
 
     let mut builder = GraphBuilder::new(n);
-    let mut vertex: usize = 0;
-    for item in lines {
+    for (vertex, item) in lines.enumerate() {
         let (lineno, line) = item?;
         if vertex >= n {
             return Err(parse_err(lineno + 1, "more vertex lines than declared"));
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if edge_weighted {
-            if tokens.len() % 2 != 0 {
+            if !tokens.len().is_multiple_of(2) {
                 return Err(parse_err(lineno + 1, "odd token count for weighted adjacency"));
             }
             for pair in tokens.chunks(2) {
-                let v: u64 =
-                    pair[0].parse().map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
-                let w: Weight =
-                    pair[1].parse().map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?;
+                let v: u64 = pair[0]
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
+                let w: Weight = pair[1]
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?;
                 builder.add_edge(vertex as VertexId, (v - 1) as VertexId, w);
             }
         } else {
             for tok in tokens {
-                let v: u64 =
-                    tok.parse().map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
+                let v: u64 = tok
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad neighbour: {e}")))?;
                 builder.add_unweighted_edge(vertex as VertexId, (v - 1) as VertexId);
             }
         }
-        vertex += 1;
     }
     Ok(builder.build())
 }

@@ -64,6 +64,10 @@ mod tests {
     fn type_aliases_are_consistent() {
         let e: Edge = (0, 1, 3);
         assert_eq!(e.0 as u64 + e.1 as u64 + e.2 as u64, 4);
-        assert!(INF_DIST > 1_000_000_000_000u64);
+        // INF_DIST must dominate any realistic path sum, not just any single
+        // weight: a worst-case path visits every vertex at maximum weight.
+        let inf: Dist = INF_DIST;
+        let worst_case_path: Dist = 100_000_000 * (u32::MAX as Dist);
+        assert!(inf > worst_case_path, "INF_DIST must dominate 1e8 vertices at max weight");
     }
 }

@@ -224,8 +224,8 @@ fn chunked_partition(graph: &CsrGraph, k: usize) -> Vec<PartitionId> {
     let mut assignment = vec![0 as PartitionId; n];
     let mut current = 0usize;
     let mut acc = 0usize;
-    for v in 0..n {
-        assignment[v] = current as PartitionId;
+    for (v, slot) in assignment.iter_mut().enumerate() {
+        *slot = current as PartitionId;
         acc += graph.out_degree(v as VertexId).max(1);
         if acc as f64 >= per_part && current + 1 < k {
             current += 1;
@@ -245,11 +245,11 @@ fn bfs_grow_partition(graph: &CsrGraph, k: usize) -> Vec<PartitionId> {
     let cap = n.div_ceil(k);
     let mut sizes = vec![0usize; k];
     let mut queue = std::collections::VecDeque::new();
-    for p in 0..k {
+    for (p, size) in sizes.iter_mut().enumerate() {
         let seed = (p * n / k) as VertexId;
         if assignment[seed as usize] == PartitionId::MAX {
             assignment[seed as usize] = p as PartitionId;
-            sizes[p] += 1;
+            *size += 1;
             queue.push_back(seed);
         }
     }
@@ -265,15 +265,10 @@ fn bfs_grow_partition(graph: &CsrGraph, k: usize) -> Vec<PartitionId> {
     }
     // Unreached vertices (other components or full regions): round-robin to the
     // least-loaded partitions.
-    for v in 0..n {
-        if assignment[v] == PartitionId::MAX {
-            let p = sizes
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, s)| *s)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            assignment[v] = p as PartitionId;
+    for slot in assignment.iter_mut() {
+        if *slot == PartitionId::MAX {
+            let p = sizes.iter().enumerate().min_by_key(|&(_, s)| *s).map(|(i, _)| i).unwrap_or(0);
+            *slot = p as PartitionId;
             sizes[p] += 1;
         }
     }
@@ -372,10 +367,8 @@ fn coarsen(g: &CoarseGraph, rng: &mut SmallRng) -> CoarseGraph {
         // Pick the heaviest unmatched neighbour.
         let mut best: Option<(u32, u64)> = None;
         for &(v, w) in &g.adj[u as usize] {
-            if matched[v as usize] == u32::MAX && v != u {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((v, w));
-                }
+            if matched[v as usize] == u32::MAX && v != u && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((v, w));
             }
         }
         match best {
@@ -438,9 +431,10 @@ fn initial_partition(g: &CoarseGraph, k: usize, rng: &mut SmallRng) -> Vec<Parti
         unvisited.swap(i, j);
     }
     let mut cursor = 0usize;
-    for p in 0..k {
+    for (p, load) in loads.iter_mut().enumerate() {
         // Find a seed.
-        while cursor < unvisited.len() && assignment[unvisited[cursor] as usize] != PartitionId::MAX {
+        while cursor < unvisited.len() && assignment[unvisited[cursor] as usize] != PartitionId::MAX
+        {
             cursor += 1;
         }
         if cursor >= unvisited.len() {
@@ -449,26 +443,26 @@ fn initial_partition(g: &CoarseGraph, k: usize, rng: &mut SmallRng) -> Vec<Parti
         let seed = unvisited[cursor];
         let mut queue = std::collections::VecDeque::new();
         assignment[seed as usize] = p as PartitionId;
-        loads[p] += g.vertex_weight[seed as usize];
+        *load += g.vertex_weight[seed as usize];
         queue.push_back(seed);
         while let Some(u) = queue.pop_front() {
-            if loads[p] >= cap {
+            if *load >= cap {
                 break;
             }
             for &(v, _) in &g.adj[u as usize] {
-                if assignment[v as usize] == PartitionId::MAX && loads[p] < cap {
+                if assignment[v as usize] == PartitionId::MAX && *load < cap {
                     assignment[v as usize] = p as PartitionId;
-                    loads[p] += g.vertex_weight[v as usize];
+                    *load += g.vertex_weight[v as usize];
                     queue.push_back(v);
                 }
             }
         }
     }
     // Any stragglers go to the least loaded partition.
-    for v in 0..n {
-        if assignment[v] == PartitionId::MAX {
+    for (v, slot) in assignment.iter_mut().enumerate() {
+        if *slot == PartitionId::MAX {
             let p = loads.iter().enumerate().min_by_key(|&(_, l)| *l).map(|(i, _)| i).unwrap_or(0);
-            assignment[v] = p as PartitionId;
+            *slot = p as PartitionId;
             loads[p] += g.vertex_weight[v];
         }
     }
@@ -560,7 +554,10 @@ mod tests {
     #[test]
     fn chunked_is_contiguous() {
         let g = gen::grid2d(40, 40, 0.0, 1);
-        let plan = PartitionPlan::compute(&g, &PartitionConfig::with_partitions(PartitionMethod::Chunked, 7));
+        let plan = PartitionPlan::compute(
+            &g,
+            &PartitionConfig::with_partitions(PartitionMethod::Chunked, 7),
+        );
         // Assignment must be non-decreasing for contiguous ranges.
         assert!(plan.assignment.windows(2).all(|w| w[0] <= w[1]));
         check_plan(&g, &plan);
@@ -570,8 +567,10 @@ mod tests {
     fn multilevel_beats_random_on_grid_cut() {
         let g = gen::grid2d(60, 60, 0.0, 1);
         let k = 9;
-        let random =
-            PartitionPlan::compute(&g, &PartitionConfig::with_partitions(PartitionMethod::Random, k));
+        let random = PartitionPlan::compute(
+            &g,
+            &PartitionConfig::with_partitions(PartitionMethod::Random, k),
+        );
         let multi = PartitionPlan::compute(
             &g,
             &PartitionConfig::with_partitions(PartitionMethod::Multilevel, k),
@@ -589,10 +588,14 @@ mod tests {
     fn bfs_grow_beats_random_on_grid_cut() {
         let g = gen::grid2d(50, 50, 0.0, 1);
         let k = 10;
-        let random =
-            PartitionPlan::compute(&g, &PartitionConfig::with_partitions(PartitionMethod::Random, k));
-        let grow =
-            PartitionPlan::compute(&g, &PartitionConfig::with_partitions(PartitionMethod::BfsGrow, k));
+        let random = PartitionPlan::compute(
+            &g,
+            &PartitionConfig::with_partitions(PartitionMethod::Random, k),
+        );
+        let grow = PartitionPlan::compute(
+            &g,
+            &PartitionConfig::with_partitions(PartitionMethod::BfsGrow, k),
+        );
         assert!(grow.edge_cut(&g) < random.edge_cut(&g));
     }
 
@@ -630,8 +633,10 @@ mod tests {
     #[test]
     fn edge_cut_zero_for_single_partition() {
         let g = gen::rmat(7, 4, 1);
-        let plan =
-            PartitionPlan::compute(&g, &PartitionConfig::with_partitions(PartitionMethod::Random, 1));
+        let plan = PartitionPlan::compute(
+            &g,
+            &PartitionConfig::with_partitions(PartitionMethod::Random, 1),
+        );
         assert_eq!(plan.edge_cut(&g), 0);
     }
 

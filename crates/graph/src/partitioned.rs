@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn partitions_cover_all_vertices_exactly_once() {
         let g = gen::rmat(9, 5, 1);
-        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 6));
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 6),
+        );
         let mut seen = vec![false; g.num_vertices()];
         for p in pg.partitions() {
             for &v in &p.vertices {
@@ -192,7 +195,10 @@ mod tests {
     #[test]
     fn edge_counts_are_consistent() {
         let g = gen::grid2d(30, 30, 0.05, 2);
-        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Chunked, 5));
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Chunked, 5),
+        );
         let total: usize = pg.partitions().iter().map(|p| p.num_edges()).sum();
         assert_eq!(total, g.num_edges());
         assert_eq!(pg.total_cut_edges(), pg.plan().edge_cut(&g));
@@ -212,7 +218,10 @@ mod tests {
     #[test]
     fn cut_ratio_bounds() {
         let g = gen::grid2d(40, 40, 0.0, 1);
-        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 8));
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 8),
+        );
         let ratio = pg.cut_ratio();
         assert!(ratio > 0.0 && ratio < 0.5, "cut ratio {ratio}");
     }
@@ -234,7 +243,10 @@ mod tests {
     #[test]
     fn single_partition_graph() {
         let g = gen::path(20);
-        let pg = PartitionedGraph::build(&g, PartitionConfig::with_partitions(PartitionMethod::Multilevel, 1));
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 1),
+        );
         assert_eq!(pg.num_partitions(), 1);
         assert_eq!(pg.total_cut_edges(), 0);
         assert_eq!(pg.partition(0).num_vertices(), 20);

@@ -9,7 +9,9 @@
 pub mod counters;
 pub mod measurement;
 pub mod report;
+pub mod service;
 
 pub use counters::{WorkCounters, WorkSnapshot};
 pub use measurement::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch};
 pub use report::Table;
+pub use service::{ServiceCounters, ServiceSnapshot};

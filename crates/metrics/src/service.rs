@@ -1,0 +1,242 @@
+//! Service-level metrics for the `fg-service` query-serving layer.
+//!
+//! The engine-side [`crate::WorkCounters`] measure one batch run; the serving
+//! layer needs cross-batch operational metrics instead: queue depth,
+//! admission/shed counts, batch occupancy (how many queries each consolidated
+//! engine run carried — the quantity the paper's batching thesis is about),
+//! result-cache hit rate, and end-to-end submit→result latency percentiles.
+//!
+//! All counters are lock-free atomics so the submit path stays cheap; the
+//! latency recorder keeps a bounded reservoir behind a mutex taken once per
+//! completed query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of latency samples retained; beyond this the recorder
+/// overwrites pseudo-randomly (bounded-memory reservoir).
+const LATENCY_RESERVOIR: usize = 4096;
+
+/// Live counters of a running service. Shared between the submit path, the
+/// batcher thread, and observers via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Queries offered to `submit` (admitted + rejected).
+    pub submitted: AtomicU64,
+    /// Queries accepted into the pending queue.
+    pub admitted: AtomicU64,
+    /// Queries refused with a backpressure error (queue saturated).
+    pub rejected: AtomicU64,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that missed the result cache (went to the engine).
+    pub cache_misses: AtomicU64,
+    /// Consolidated engine runs dispatched.
+    pub batches_dispatched: AtomicU64,
+    /// Total queries carried by dispatched batches.
+    pub queries_batched: AtomicU64,
+    /// Largest single-batch occupancy observed.
+    pub max_batch_occupancy: AtomicU64,
+    /// Current pending-queue depth.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the pending queue.
+    pub max_queue_depth: AtomicU64,
+    latencies: Mutex<Vec<Duration>>,
+    latency_count: AtomicU64,
+}
+
+impl ServiceCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one admitted submission and the resulting queue depth.
+    pub fn on_admit(&self, depth_after: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth_after as u64, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth_after as u64, Ordering::Relaxed);
+    }
+
+    /// Record one submission shed by admission control.
+    pub fn on_reject(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache hit (the query never enters the queue).
+    pub fn on_cache_hit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache miss for an admitted query.
+    pub fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a dispatched batch of `occupancy` queries, and the queue depth
+    /// left behind.
+    pub fn on_batch(&self, occupancy: usize, depth_after: usize) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.queries_batched.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.max_batch_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+        self.queue_depth.store(depth_after as u64, Ordering::Relaxed);
+    }
+
+    /// Record one query's end-to-end (submit → result available) latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let n = self.latency_count.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut samples = self.latencies.lock().unwrap_or_else(|p| p.into_inner());
+        if samples.len() < LATENCY_RESERVOIR {
+            samples.push(latency);
+        } else {
+            // Cheap deterministic "random" slot: low bits of a Weyl sequence
+            // over the sample index keep the reservoir representative enough
+            // for p50/p99 without an RNG dependency.
+            let slot = (n.wrapping_mul(0x9E37_79B9)) % LATENCY_RESERVOIR;
+            samples[slot] = latency;
+        }
+    }
+
+    /// Consistent point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let samples = {
+            let guard = self.latencies.lock().unwrap_or_else(|p| p.into_inner());
+            let mut s: Vec<Duration> = guard.clone();
+            s.sort_unstable();
+            s
+        };
+        let percentile = |p: f64| -> Duration {
+            if samples.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+                samples[idx]
+            }
+        };
+        ServiceSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            queries_batched: self.queries_batched.load(Ordering::Relaxed),
+            max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            latency_p50: percentile(0.50),
+            latency_p99: percentile(0.99),
+            latency_samples: samples.len() as u64,
+        }
+    }
+}
+
+/// Immutable snapshot of [`ServiceCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub batches_dispatched: u64,
+    pub queries_batched: u64,
+    pub max_batch_occupancy: u64,
+    pub queue_depth: u64,
+    pub max_queue_depth: u64,
+    /// Median submit→result latency over the retained reservoir.
+    pub latency_p50: Duration,
+    /// 99th-percentile submit→result latency over the retained reservoir.
+    pub latency_p99: Duration,
+    /// Number of latency samples the percentiles are computed from.
+    pub latency_samples: u64,
+}
+
+impl ServiceSnapshot {
+    /// Mean queries per dispatched batch (the consolidation win).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.queries_batched as f64 / self.batches_dispatched as f64
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]` over queries that consulted the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ServiceCounters::new();
+        c.on_cache_hit();
+        c.on_admit(1);
+        c.on_cache_miss();
+        c.on_admit(2);
+        c.on_cache_miss();
+        c.on_reject();
+        c.on_batch(2, 0);
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 4);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.batches_dispatched, 1);
+        assert_eq!(s.queries_batched, 2);
+        assert_eq!(s.max_batch_occupancy, 2);
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.queue_depth, 0);
+        assert!((s.mean_batch_occupancy() - 2.0).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let c = ServiceCounters::new();
+        for ms in 1..=100u64 {
+            c.record_latency(Duration::from_millis(ms));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.latency_samples, 100);
+        assert!(s.latency_p50 >= Duration::from_millis(45));
+        assert!(s.latency_p50 <= Duration::from_millis(55));
+        assert!(s.latency_p99 >= s.latency_p50);
+        assert!(s.latency_p99 >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let c = ServiceCounters::new();
+        for i in 0..10_000u64 {
+            c.record_latency(Duration::from_micros(i));
+        }
+        let s = c.snapshot();
+        assert!(s.latency_samples <= LATENCY_RESERVOIR as u64);
+        assert!(s.latency_p99 >= s.latency_p50);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = ServiceCounters::new().snapshot();
+        assert_eq!(s.latency_p50, Duration::ZERO);
+        assert_eq!(s.mean_batch_occupancy(), 0.0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+}

@@ -47,8 +47,13 @@ impl RandomWalkResult {
 }
 
 /// Run `config.num_walks` walks of `config.walk_length` steps from `source`.
-pub fn random_walks(graph: &CsrGraph, source: VertexId, config: &RandomWalkConfig) -> RandomWalkResult {
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ (source as u64).wrapping_mul(0x9e3779b97f4a7c15));
+pub fn random_walks(
+    graph: &CsrGraph,
+    source: VertexId,
+    config: &RandomWalkConfig,
+) -> RandomWalkResult {
+    let mut rng =
+        SmallRng::seed_from_u64(config.seed ^ (source as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let mut counts = std::collections::HashMap::<VertexId, u64>::new();
     let mut edges_processed = 0u64;
     for _ in 0..config.num_walks {
@@ -82,7 +87,8 @@ mod tests {
     #[test]
     fn visit_counts_add_up() {
         let g = gen::rmat(8, 5, 1);
-        let config = RandomWalkConfig { num_walks: 10, walk_length: 20, restart_prob: 0.1, seed: 3 };
+        let config =
+            RandomWalkConfig { num_walks: 10, walk_length: 20, restart_prob: 0.1, seed: 3 };
         let r = random_walks(&g, 0, &config);
         assert_eq!(r.total_visits(), (10 * (20 + 1)) as u64);
     }

@@ -1,0 +1,46 @@
+//! # fg-service
+//!
+//! An always-on, concurrent query-serving layer over the ForkGraph engine.
+//!
+//! The engine (`forkgraph-core`) gets its cache efficiency from processing
+//! *batches* of forked queries together, but its API is one-shot and
+//! synchronous. This crate is the online embodiment of that batching thesis:
+//! concurrently arriving client queries are consolidated into micro-batches
+//! and executed as single engine runs over a shared
+//! [`PartitionedGraph`](fg_graph::partitioned::PartitionedGraph).
+//!
+//! ```text
+//!  clients ──submit──▶ [admission control] ──▶ pending queue ─┐
+//!     ▲                      │ shed when full                 │ batch window /
+//!     │ cache hit            ▼                                │ size budget
+//!     └─────────────── [LRU result cache]                     ▼
+//!                            ▲                        [micro-batcher thread]
+//!                            │ insert                         │ one ForkGraphEngine::run
+//!                            └────────── demux ◀──────────────┘ per BatchKey cohort
+//! ```
+//!
+//! * **Submission** ([`ServiceHandle::submit`]): clients submit typed
+//!   [`QuerySpec`]s (SSSP / BFS / PPR / random walks) and receive a
+//!   [`Ticket`] they can block on or poll.
+//! * **Micro-batching**: a dedicated batcher thread accumulates submissions
+//!   for [`ServiceConfig::batch_window`] (or until
+//!   [`ServiceConfig::max_batch_size`]), then dispatches each same-key cohort
+//!   as one consolidated `ForkGraphEngine::run`, demultiplexing per-source
+//!   results back to submitters via
+//!   [`ForkGraphRunResult::into_per_source`](forkgraph_core::ForkGraphRunResult::into_per_source).
+//! * **Admission control**: the pending queue is bounded
+//!   ([`ServiceConfig::max_queue_depth`]); a saturated service sheds load
+//!   with [`ServiceError::Saturated`] instead of blocking submitters.
+//! * **Result caching**: an LRU cache keyed by (kernel, config, source)
+//!   short-circuits repeated hot queries.
+//! * **Observability**: queue depth, shed count, batch occupancy, cache hit
+//!   rate, and p50/p99 latency via [`fg_metrics::ServiceSnapshot`].
+
+mod lru;
+pub mod query;
+pub mod service;
+pub mod ticket;
+
+pub use query::{BatchKey, CacheKey, QueryResult, QuerySpec};
+pub use service::{ForkGraphService, ServiceConfig, ServiceError, ServiceHandle};
+pub use ticket::Ticket;

@@ -1,0 +1,190 @@
+//! Typed query submissions and results.
+//!
+//! A [`QuerySpec`] is one client query — a kernel plus its source vertex and
+//! (for parameterised kernels) its configuration. Specs that share a
+//! [`BatchKey`] are semantically batchable: they run the same kernel with the
+//! same configuration, so the micro-batcher may consolidate them into a single
+//! `ForkGraphEngine::run` over their combined source list.
+
+use std::hash::Hash;
+
+use fg_graph::{Dist, VertexId};
+use fg_seq::ppr::PprConfig;
+use fg_seq::random_walk::RandomWalkConfig;
+use forkgraph_core::kernels::{PprState, RwState};
+
+/// One client query: kernel, source, and kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// Single-source shortest paths from `source`.
+    Sssp { source: VertexId },
+    /// Breadth-first search levels from `source`.
+    Bfs { source: VertexId },
+    /// Personalized PageRank seeded at `seed`.
+    Ppr { seed: VertexId, config: PprConfig },
+    /// A batch of bounded random walks from `source`.
+    RandomWalk { source: VertexId, config: RandomWalkConfig },
+}
+
+impl QuerySpec {
+    /// The vertex this query forks from.
+    pub fn source(&self) -> VertexId {
+        match *self {
+            QuerySpec::Sssp { source }
+            | QuerySpec::Bfs { source }
+            | QuerySpec::RandomWalk { source, .. } => source,
+            QuerySpec::Ppr { seed, .. } => seed,
+        }
+    }
+
+    /// Batching key: queries with equal keys may share one engine run.
+    ///
+    /// Float parameters are keyed by their bit patterns — exact-equality
+    /// grouping, which is what batchability requires (two PPR queries with
+    /// different epsilons must not share a run).
+    pub fn batch_key(&self) -> BatchKey {
+        match *self {
+            QuerySpec::Sssp { .. } => BatchKey::Sssp,
+            QuerySpec::Bfs { .. } => BatchKey::Bfs,
+            QuerySpec::Ppr { config, .. } => BatchKey::Ppr {
+                alpha_bits: config.alpha.to_bits(),
+                epsilon_bits: config.epsilon.to_bits(),
+                max_pushes: config.max_pushes,
+            },
+            QuerySpec::RandomWalk { config, .. } => BatchKey::RandomWalk {
+                num_walks: config.num_walks,
+                walk_length: config.walk_length,
+                restart_bits: config.restart_prob.to_bits(),
+                seed: config.seed,
+            },
+        }
+    }
+
+    /// Cache key identifying this exact query: batch key plus source.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey { key: self.batch_key(), source: self.source() }
+    }
+
+    /// Human-readable kernel name (metrics/log labels).
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            QuerySpec::Sssp { .. } => "sssp",
+            QuerySpec::Bfs { .. } => "bfs",
+            QuerySpec::Ppr { .. } => "ppr",
+            QuerySpec::RandomWalk { .. } => "random_walk",
+        }
+    }
+}
+
+/// Equality/hash key for batch formation. Two specs with the same key run the
+/// same kernel with identical parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BatchKey {
+    Sssp,
+    Bfs,
+    Ppr { alpha_bits: u64, epsilon_bits: u64, max_pushes: u64 },
+    RandomWalk { num_walks: usize, walk_length: usize, restart_bits: u64, seed: u64 },
+}
+
+/// Key of the result cache: one exact query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub key: BatchKey,
+    pub source: VertexId,
+}
+
+/// A completed query's result, one variant per kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Distances from the source (index = vertex id).
+    Sssp(Vec<Dist>),
+    /// BFS levels from the source (index = vertex id).
+    Bfs(Vec<u32>),
+    /// Final PPR state (dense estimate + residual vectors).
+    Ppr(PprState),
+    /// Final random-walk state (visit counts).
+    RandomWalk(RwState),
+}
+
+impl QueryResult {
+    pub fn as_sssp(&self) -> Option<&Vec<Dist>> {
+        match self {
+            QueryResult::Sssp(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn as_bfs(&self) -> Option<&Vec<u32>> {
+        match self {
+            QueryResult::Bfs(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn as_ppr(&self) -> Option<&PprState> {
+        match self {
+            QueryResult::Ppr(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_random_walk(&self) -> Option<&RwState> {
+        match self {
+            QueryResult::RandomWalk(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_kernel_same_config_share_a_batch_key() {
+        let a = QuerySpec::Sssp { source: 1 };
+        let b = QuerySpec::Sssp { source: 2 };
+        assert_eq!(a.batch_key(), b.batch_key());
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn different_kernels_do_not_share_a_batch_key() {
+        let a = QuerySpec::Sssp { source: 1 };
+        let b = QuerySpec::Bfs { source: 1 };
+        assert_ne!(a.batch_key(), b.batch_key());
+    }
+
+    #[test]
+    fn ppr_config_differences_split_batches() {
+        let base = PprConfig::default();
+        let a = QuerySpec::Ppr { seed: 1, config: base };
+        let b =
+            QuerySpec::Ppr { seed: 2, config: PprConfig { epsilon: base.epsilon * 2.0, ..base } };
+        let c = QuerySpec::Ppr { seed: 3, config: base };
+        assert_ne!(a.batch_key(), b.batch_key());
+        assert_eq!(a.batch_key(), c.batch_key());
+    }
+
+    #[test]
+    fn random_walk_seed_is_part_of_the_key() {
+        let base = RandomWalkConfig::default();
+        let a = QuerySpec::RandomWalk { source: 1, config: base };
+        let b = QuerySpec::RandomWalk {
+            source: 1,
+            config: RandomWalkConfig { seed: base.seed + 1, ..base },
+        };
+        assert_ne!(a.batch_key(), b.batch_key());
+    }
+
+    #[test]
+    fn source_accessor_covers_all_variants() {
+        assert_eq!(QuerySpec::Sssp { source: 7 }.source(), 7);
+        assert_eq!(QuerySpec::Bfs { source: 8 }.source(), 8);
+        assert_eq!(QuerySpec::Ppr { seed: 9, config: PprConfig::default() }.source(), 9);
+        assert_eq!(
+            QuerySpec::RandomWalk { source: 10, config: RandomWalkConfig::default() }.source(),
+            10
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! The query-serving core: admission control, micro-batching, dispatch.
+//!
+//! One background *batcher* thread owns a long-lived [`ForkGraphEngine`] and
+//! repeatedly: waits for pending submissions, lets a batch accumulate for the
+//! configured window (or until the batch-size cap), drains the oldest
+//! submission's [`BatchKey`] cohort from the queue, runs it as a single
+//! consolidated engine run, and demultiplexes the per-source results back to
+//! the submitters' tickets. The submit path is admission-controlled by a
+//! bounded queue — when full, `submit` fails fast with
+//! [`ServiceError::Saturated`] instead of blocking — and fronted by an LRU
+//! result cache so repeated hot queries never reach the engine.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::VertexId;
+use fg_metrics::{ServiceCounters, ServiceSnapshot};
+use fg_seq::ppr::PprConfig;
+use fg_seq::random_walk::RandomWalkConfig;
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+use crate::lru::LruCache;
+use crate::query::{CacheKey, QueryResult, QuerySpec};
+use crate::ticket::{Slot, Ticket};
+
+/// Tuning knobs of the serving layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// How long the batcher lets submissions accumulate after it starts
+    /// forming a batch. Larger windows mean fuller batches (better cache
+    /// reuse per the paper's batching thesis) at the cost of added latency.
+    pub batch_window: Duration,
+    /// Hard cap on queries per consolidated engine run.
+    pub max_batch_size: usize,
+    /// Admission-control bound on the pending queue; submissions beyond it
+    /// are shed with [`ServiceError::Saturated`].
+    pub max_queue_depth: usize,
+    /// Capacity of the LRU result cache in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch_size: 64,
+            max_queue_depth: 1024,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Typed failures surfaced to submitters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control shed the query: the pending queue is at capacity.
+    /// Callers should back off and retry; blocking here would just move the
+    /// queue into the clients.
+    Saturated {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+        /// The configured `max_queue_depth`.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The query names a source vertex the graph doesn't have; rejected at
+    /// submit time so a bad query can never reach (and panic) the engine.
+    InvalidSource {
+        /// The offending source vertex.
+        source: VertexId,
+        /// Number of vertices in the served graph.
+        num_vertices: usize,
+    },
+    /// The engine panicked while running this query's batch. The batcher
+    /// survives and keeps serving subsequent batches.
+    EngineFailure,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Saturated { queue_depth, capacity } => {
+                write!(f, "service saturated: {queue_depth} queued of {capacity} capacity")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::InvalidSource { source, num_vertices } => {
+                write!(f, "source vertex {source} out of range (graph has {num_vertices} vertices)")
+            }
+            ServiceError::EngineFailure => write!(f, "engine failed while executing the batch"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Pending {
+    spec: QuerySpec,
+    slot: Arc<Slot>,
+    submitted_at: Instant,
+}
+
+struct Inner {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signalled on every submission and on shutdown; the batcher waits here.
+    work_ready: Condvar,
+    counters: Arc<ServiceCounters>,
+    cache: Mutex<LruCache<CacheKey, Arc<QueryResult>>>,
+    config: ServiceConfig,
+    /// Vertex count of the served graph, for submit-time source validation.
+    num_vertices: usize,
+}
+
+/// Cloneable submission endpoint, safe to hand to many client threads.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// Submit a query. Returns a [`Ticket`] the caller can block on, or a
+    /// typed error when the service is saturated or shutting down. Never
+    /// blocks beyond two short critical sections.
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, ServiceError> {
+        let shared = &*self.shared;
+
+        // Validate before anything else: an out-of-range source must never
+        // reach the engine (it would panic the batcher thread).
+        let source = spec.source();
+        if source as usize >= shared.num_vertices {
+            return Err(ServiceError::InvalidSource { source, num_vertices: shared.num_vertices });
+        }
+
+        // Fast path: answer repeated hot queries from the LRU cache.
+        if shared.config.cache_capacity > 0 {
+            let hit = shared.cache.lock().get(&spec.cache_key()).cloned();
+            if let Some(result) = hit {
+                shared.counters.on_cache_hit();
+                shared.counters.record_latency(Duration::ZERO);
+                return Ok(Ticket::ready(Ok(result)));
+            }
+        }
+
+        let mut inner = shared.inner.lock();
+        if inner.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let depth = inner.queue.len();
+        if depth >= shared.config.max_queue_depth {
+            shared.counters.on_reject();
+            return Err(ServiceError::Saturated {
+                queue_depth: depth,
+                capacity: shared.config.max_queue_depth,
+            });
+        }
+        shared.counters.on_cache_miss();
+        shared.counters.on_admit(depth + 1);
+        let slot = Slot::new();
+        inner.queue.push_back(Pending {
+            spec,
+            slot: Arc::clone(&slot),
+            submitted_at: Instant::now(),
+        });
+        drop(inner);
+        shared.work_ready.notify_all();
+        Ok(Ticket::new(slot))
+    }
+
+    /// Submit-and-wait convenience wrapper.
+    pub fn query(&self, spec: QuerySpec) -> Result<Arc<QueryResult>, ServiceError> {
+        self.submit(spec)?.wait()
+    }
+
+    /// Submit an SSSP query from `source`.
+    pub fn submit_sssp(&self, source: VertexId) -> Result<Ticket, ServiceError> {
+        self.submit(QuerySpec::Sssp { source })
+    }
+
+    /// Submit a BFS query from `source`.
+    pub fn submit_bfs(&self, source: VertexId) -> Result<Ticket, ServiceError> {
+        self.submit(QuerySpec::Bfs { source })
+    }
+
+    /// Submit a PPR query seeded at `seed`.
+    pub fn submit_ppr(&self, seed: VertexId, config: PprConfig) -> Result<Ticket, ServiceError> {
+        self.submit(QuerySpec::Ppr { seed, config })
+    }
+
+    /// Submit a random-walk query from `source`.
+    pub fn submit_random_walk(
+        &self,
+        source: VertexId,
+        config: RandomWalkConfig,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit(QuerySpec::RandomWalk { source, config })
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> ServiceSnapshot {
+        self.shared.counters.snapshot()
+    }
+}
+
+/// An always-on ForkGraph query server over one shared [`PartitionedGraph`].
+///
+/// Owns the batcher thread; dropping (or [`shutdown`](Self::shutdown)ting)
+/// the service flushes already-admitted queries, then stops.
+pub struct ForkGraphService {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ForkGraphService {
+    /// Start the service over `graph` with the given engine and service
+    /// configurations.
+    pub fn start(
+        graph: Arc<PartitionedGraph>,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+            counters: Arc::new(ServiceCounters::new()),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            config,
+            num_vertices: graph.graph().num_vertices(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("fg-service-batcher".into())
+            .spawn(move || batcher_loop(worker_shared, graph, engine_config))
+            .expect("failed to spawn fg-service batcher thread");
+        ForkGraphService { shared, worker: Some(worker) }
+    }
+
+    /// Start with default engine and service configurations.
+    pub fn with_defaults(graph: Arc<PartitionedGraph>) -> Self {
+        Self::start(graph, EngineConfig::default(), ServiceConfig::default())
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> ServiceSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stop accepting queries, flush the already-admitted backlog, and join
+    /// the batcher thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.inner.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ForkGraphService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batcher thread body.
+fn batcher_loop(shared: Arc<Shared>, graph: Arc<PartitionedGraph>, engine_config: EngineConfig) {
+    let engine = ForkGraphEngine::new(&graph, engine_config);
+    loop {
+        let batch = {
+            let mut inner = shared.inner.lock();
+
+            // Wait for work (or shutdown with an empty backlog).
+            while inner.queue.is_empty() && !inner.shutdown {
+                shared.work_ready.wait(&mut inner);
+            }
+            if inner.queue.is_empty() {
+                debug_assert!(inner.shutdown);
+                break;
+            }
+
+            // Micro-batch accumulation: give concurrent submitters the
+            // window to join this batch. Skipped when flushing at shutdown.
+            if !inner.shutdown && !shared.config.batch_window.is_zero() {
+                let deadline = Instant::now() + shared.config.batch_window;
+                while !inner.shutdown && inner.queue.len() < shared.config.max_batch_size {
+                    if shared.work_ready.wait_until(&mut inner, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+
+            // Drain the oldest submission's cohort: every queued query with
+            // the same batch key, in arrival order, up to the size cap.
+            // Queries with other keys keep their queue position and form the
+            // next batch. Single forward pass (O(queue)) — the lock is held,
+            // so submitters are stalled while this runs.
+            let key = inner.queue.front().expect("queue non-empty").spec.batch_key();
+            let mut batch: Vec<Pending> = Vec::new();
+            let mut rest: VecDeque<Pending> = VecDeque::with_capacity(inner.queue.len());
+            for pending in inner.queue.drain(..) {
+                if batch.len() < shared.config.max_batch_size && pending.spec.batch_key() == key {
+                    batch.push(pending);
+                } else {
+                    rest.push_back(pending);
+                }
+            }
+            inner.queue = rest;
+            shared.counters.on_batch(batch.len(), inner.queue.len());
+            batch
+        };
+
+        // One consolidated engine run for the whole cohort — this is where
+        // concurrent requests turn into the paper's fork-processing pattern.
+        // An engine panic must not wedge the service: contain it, fail the
+        // cohort's tickets, and keep serving (submit-time validation makes
+        // this unreachable for the known panic class of bad sources).
+        let sources: Vec<VertexId> = batch.iter().map(|p| p.spec.source()).collect();
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(&engine, &batch[0].spec, &sources)
+        }));
+        let results = match results {
+            Ok(results) => results,
+            Err(_) => {
+                for pending in batch {
+                    pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                }
+                continue;
+            }
+        };
+        debug_assert_eq!(results.len(), batch.len());
+
+        let now = Instant::now();
+        let mut cache = (shared.config.cache_capacity > 0).then(|| shared.cache.lock());
+        for (pending, result) in batch.into_iter().zip(results) {
+            let result = Arc::new(result);
+            if let Some(cache) = cache.as_mut() {
+                cache.insert(pending.spec.cache_key(), Arc::clone(&result));
+            }
+            shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
+            pending.slot.fulfil(Ok(result));
+        }
+    }
+
+    // Reject anything that slipped in after the shutdown flag (submitters
+    // racing the flag see ShuttingDown from `submit` itself; this is belt and
+    // braces for entries admitted just before it was set).
+    let leftovers: Vec<Pending> = shared.inner.lock().queue.drain(..).collect();
+    for pending in leftovers {
+        pending.slot.fulfil(Err(ServiceError::ShuttingDown));
+    }
+}
+
+/// Run one homogeneous cohort through the engine and demux per-source results.
+///
+/// `template` is the first query of the batch; every query in `sources`
+/// shares its [`crate::query::BatchKey`], so its configuration is the batch's
+/// configuration.
+fn execute_batch(
+    engine: &ForkGraphEngine<'_>,
+    template: &QuerySpec,
+    sources: &[VertexId],
+) -> Vec<QueryResult> {
+    match template {
+        QuerySpec::Sssp { .. } => engine
+            .run_sssp(sources)
+            .into_per_source(sources)
+            .into_iter()
+            .map(|(_, dist)| QueryResult::Sssp(dist))
+            .collect(),
+        QuerySpec::Bfs { .. } => engine
+            .run_bfs(sources)
+            .into_per_source(sources)
+            .into_iter()
+            .map(|(_, level)| QueryResult::Bfs(level))
+            .collect(),
+        QuerySpec::Ppr { config, .. } => engine
+            .run_ppr(sources, config)
+            .into_per_source(sources)
+            .into_iter()
+            .map(|(_, state)| QueryResult::Ppr(state))
+            .collect(),
+        QuerySpec::RandomWalk { config, .. } => engine
+            .run_random_walks(sources, config)
+            .into_per_source(sources)
+            .into_iter()
+            .map(|(_, state)| QueryResult::RandomWalk(state))
+            .collect(),
+    }
+}

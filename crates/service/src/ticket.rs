@@ -1,0 +1,135 @@
+//! Completion handles returned by `submit`.
+//!
+//! A [`Ticket`] is a one-shot future the caller can block on. The batcher
+//! thread fulfils it with a shared [`QueryResult`] (shared, because a cache
+//! hit and several waiters may all observe the same result object), or with a
+//! [`ServiceError`] if the service shuts down before the query runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::query::QueryResult;
+use crate::ServiceError;
+
+pub(crate) struct Slot {
+    state: Mutex<Option<Result<Arc<QueryResult>, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot { state: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    /// Fulfil the slot; later fulfilments are ignored (first writer wins).
+    pub(crate) fn fulfil(&self, outcome: Result<Arc<QueryResult>, ServiceError>) {
+        let mut state = self.state.lock();
+        if state.is_none() {
+            *state = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A handle to one submitted query's eventual result.
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("ready", &self.is_ready()).finish()
+    }
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<Slot>) -> Self {
+        Ticket { slot }
+    }
+
+    /// Ticket that is already fulfilled (cache-hit fast path).
+    pub(crate) fn ready(outcome: Result<Arc<QueryResult>, ServiceError>) -> Self {
+        let slot = Slot::new();
+        slot.fulfil(outcome);
+        Ticket { slot }
+    }
+
+    /// Block until the result is available.
+    pub fn wait(&self) -> Result<Arc<QueryResult>, ServiceError> {
+        let mut state = self.slot.state.lock();
+        while state.is_none() {
+            self.slot.ready.wait(&mut state);
+        }
+        state.as_ref().unwrap().clone()
+    }
+
+    /// Block for at most `timeout`; `None` if the result is still pending.
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<Result<Arc<QueryResult>, ServiceError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.slot.state.lock();
+        while state.is_none() {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            self.slot.ready.wait_for(&mut state, remaining);
+        }
+        state.clone()
+    }
+
+    /// Non-blocking probe.
+    pub fn try_result(&self) -> Option<Result<Arc<QueryResult>, ServiceError>> {
+        self.slot.state.lock().clone()
+    }
+
+    /// Whether the result is available without blocking.
+    pub fn is_ready(&self) -> bool {
+        self.slot.state.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_ticket_resolves_immediately() {
+        let t = Ticket::ready(Ok(Arc::new(QueryResult::Bfs(vec![0]))));
+        assert!(t.is_ready());
+        assert_eq!(*t.wait().unwrap(), QueryResult::Bfs(vec![0]));
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilment() {
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let fulfiller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.fulfil(Ok(Arc::new(QueryResult::Bfs(vec![1, 2]))));
+        });
+        assert_eq!(*ticket.wait().unwrap(), QueryResult::Bfs(vec![1, 2]));
+        fulfiller.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_while_pending() {
+        let ticket = Ticket::new(Slot::new());
+        assert!(ticket.wait_timeout(Duration::from_millis(10)).is_none());
+        assert!(!ticket.is_ready());
+        assert!(ticket.try_result().is_none());
+    }
+
+    #[test]
+    fn first_fulfilment_wins() {
+        let slot = Slot::new();
+        slot.fulfil(Ok(Arc::new(QueryResult::Bfs(vec![7]))));
+        slot.fulfil(Err(ServiceError::ShuttingDown));
+        let t = Ticket::new(slot);
+        assert_eq!(*t.wait().unwrap(), QueryResult::Bfs(vec![7]));
+    }
+}

@@ -18,22 +18,27 @@ fn main() {
 
     // A small simulated LLC so the scaled graph does not fit.
     let llc = CacheConfig { capacity_bytes: 128 * 1024, line_bytes: 64, associativity: 16 };
-    let sources: Vec<VertexId> = (0..24u32).map(|i| i * 131 % graph.num_vertices() as u32).collect();
+    let sources: Vec<VertexId> =
+        (0..24u32).map(|i| i * 131 % graph.num_vertices() as u32).collect();
 
     println!("{:<22} {:>14} {:>14} {:>10}", "system", "LLC loads", "LLC misses", "miss %");
 
     for (label, result) in [
         (
             "Ligra (t=1)",
-            FppDriver::new(LigraEngine::new(), Arc::clone(&shared))
-                .with_cache(llc)
-                .run(&QueryKind::Bfs, &sources, ExecutionScheme::InterQuery),
+            FppDriver::new(LigraEngine::new(), Arc::clone(&shared)).with_cache(llc).run(
+                &QueryKind::Bfs,
+                &sources,
+                ExecutionScheme::InterQuery,
+            ),
         ),
         (
             "GraphIt (t=1)",
-            FppDriver::new(GraphItEngine::new(), Arc::clone(&shared))
-                .with_cache(llc)
-                .run(&QueryKind::Bfs, &sources, ExecutionScheme::InterQuery),
+            FppDriver::new(GraphItEngine::new(), Arc::clone(&shared)).with_cache(llc).run(
+                &QueryKind::Bfs,
+                &sources,
+                ExecutionScheme::InterQuery,
+            ),
         ),
     ] {
         let cache = result.measurement.cache.unwrap();
@@ -47,7 +52,8 @@ fn main() {
     }
 
     // ForkGraph over LLC-sized partitions with the same simulated cache.
-    let partitioned = PartitionedGraph::build(&graph, PartitionConfig::llc_sized(llc.capacity_bytes));
+    let partitioned =
+        PartitionedGraph::build(&graph, PartitionConfig::llc_sized(llc.capacity_bytes));
     let engine = ForkGraphEngine::new(&partitioned, EngineConfig::default().with_cache(llc));
     let fork = engine.run_bfs(&sources);
     let cache = fork.measurement.cache.unwrap();

@@ -42,8 +42,7 @@ fn main() {
     //    work-efficiency ratio (Theorem A.3: within a constant factor).
     let oracle = dijkstra(&graph, sources[0]);
     assert_eq!(result.per_query[0], oracle.dist);
-    let sequential_edges: u64 =
-        sources.iter().map(|&s| dijkstra(&graph, s).edges_processed).sum();
+    let sequential_edges: u64 = sources.iter().map(|&s| dijkstra(&graph, s).edges_processed).sum();
     println!(
         "work ratio vs sequential Dijkstra: {:.1}x (paper reports 5.2-16.7x)",
         result.work().edges_processed as f64 / sequential_edges as f64

@@ -35,11 +35,14 @@ pub use fg_cachesim as cachesim;
 pub use fg_graph as graph;
 pub use fg_metrics as metrics;
 pub use fg_seq as seq;
+pub use fg_service as service;
 pub use forkgraph_core as core;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use fg_apps::{bc::BetweennessCentrality, ll::LandmarkLabeling, ncp::NetworkCommunityProfile};
+    pub use fg_apps::{
+        bc::BetweennessCentrality, ll::LandmarkLabeling, ncp::NetworkCommunityProfile,
+    };
     pub use fg_baselines::fpp::{ExecutionScheme, FppDriver};
     pub use fg_cachesim::{CacheConfig, CacheSim};
     pub use fg_graph::partition::{PartitionConfig, PartitionMethod};
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use fg_graph::{CsrGraph, GraphBuilder, VertexId, Weight};
     pub use fg_metrics::WorkCounters;
     pub use fg_seq::dijkstra::dijkstra;
+    pub use fg_service::{ForkGraphService, QueryResult, QuerySpec, ServiceConfig, ServiceError};
     pub use forkgraph_core::engine::{EngineConfig, ForkGraphEngine};
     pub use forkgraph_core::sched::SchedulingPolicy;
     pub use forkgraph_core::yield_policy::YieldPolicy;

@@ -165,7 +165,8 @@ fn forkgraph_work_stays_within_constant_factor_of_sequential() {
 fn ablation_levels_preserve_correctness_and_reduce_work_cumulatively() {
     let graph = road_graph();
     let pg = partitioned(&graph, 8);
-    let sources: Vec<VertexId> = (0..5u32).map(|i| (i * 643) % graph.num_vertices() as u32).collect();
+    let sources: Vec<VertexId> =
+        (0..5u32).map(|i| (i * 643) % graph.num_vertices() as u32).collect();
     let oracle: Vec<Vec<_>> = sources.iter().map(|&s| dijkstra(&graph, s).dist).collect();
     let mut edges = Vec::new();
     for level in forkgraph::core::AblationLevel::all() {

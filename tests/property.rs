@@ -1,59 +1,74 @@
 //! Property-based tests over randomly generated graphs and FPP batches.
+//!
+//! Hand-rolled randomized property harness: each property runs `CASES`
+//! deterministic trials over seeded random inputs (the build environment has
+//! no proptest, and the properties here don't need shrinking — failures print
+//! the offending seed, which reproduces the trial exactly).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use forkgraph::prelude::*;
 use forkgraph::seq::bellman_ford::bellman_ford;
 
-/// Strategy: a random weighted edge list over `n <= 60` vertices.
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..60, proptest::collection::vec((0u32..60, 0u32..60, 1u32..10), 1..300)).prop_map(
-        |(n, edges)| {
-            let mut b = GraphBuilder::new(n);
-            for (u, v, w) in edges {
-                b.add_edge(u % n as u32, v % n as u32, w);
-            }
-            b.build()
-        },
-    )
+const CASES: u64 = 24;
+
+/// A random weighted graph over `2..60` vertices with up to 300 edges.
+fn arb_graph(rng: &mut SmallRng) -> CsrGraph {
+    let n = rng.gen_range(2usize..60);
+    let num_edges = rng.gen_range(1usize..300);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        let w = rng.gen_range(1u32..10);
+        b.add_edge(u, v, w);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn csr_round_trips_through_edge_list_io(graph in arb_graph()) {
+#[test]
+fn csr_round_trips_through_edge_list_io() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA11CE + case);
+        let graph = arb_graph(&mut rng);
         let mut bytes = Vec::new();
         forkgraph::graph::io::write_edge_list(&graph, &mut bytes).unwrap();
         let back = forkgraph::graph::io::read_edge_list(bytes.as_slice()).unwrap();
         // Vertex count may shrink if trailing vertices are isolated; edges must match.
         let a: Vec<_> = graph.edges().collect();
         let b: Vec<_> = back.edges().collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn partition_plans_cover_every_vertex_exactly_once(
-        graph in arb_graph(),
-        k in 1usize..9,
-        method_idx in 0usize..5,
-    ) {
-        let method = PartitionMethod::all()[method_idx];
+#[test]
+fn partition_plans_cover_every_vertex_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB0B + case);
+        let graph = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..9);
+        let method = PartitionMethod::all()[rng.gen_range(0usize..5)];
         let plan = forkgraph::graph::partition::PartitionPlan::compute(
             &graph,
             &PartitionConfig::with_partitions(method, k),
         );
-        prop_assert!(plan.validate(&graph));
-        prop_assert_eq!(plan.partition_sizes().iter().sum::<usize>(), graph.num_vertices());
+        assert!(plan.validate(&graph), "case {case} method {method:?}");
+        assert_eq!(
+            plan.partition_sizes().iter().sum::<usize>(),
+            graph.num_vertices(),
+            "case {case} method {method:?}"
+        );
     }
+}
 
-    #[test]
-    fn forkgraph_sssp_equals_dijkstra_and_bellman_ford(
-        graph in arb_graph(),
-        k in 1usize..6,
-        source in 0u32..60,
-    ) {
-        let source = source % graph.num_vertices() as u32;
+#[test]
+fn forkgraph_sssp_equals_dijkstra_and_bellman_ford() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE + case);
+        let graph = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..6);
+        let source = rng.gen_range(0u32..graph.num_vertices() as u32);
         let pg = PartitionedGraph::build(
             &graph,
             PartitionConfig::with_partitions(PartitionMethod::Multilevel, k),
@@ -62,32 +77,38 @@ proptest! {
         let fork = engine.run_sssp(&[source]);
         let oracle = dijkstra(&graph, source).dist;
         let (bf, _) = bellman_ford(&graph, source);
-        prop_assert_eq!(&fork.per_query[0], &oracle);
-        prop_assert_eq!(&oracle, &bf);
+        assert_eq!(&fork.per_query[0], &oracle, "case {case}");
+        assert_eq!(&oracle, &bf, "case {case}");
     }
+}
 
-    #[test]
-    fn forkgraph_bfs_levels_match_sequential_bfs(
-        graph in arb_graph(),
-        k in 1usize..6,
-        source in 0u32..60,
-    ) {
-        let source = source % graph.num_vertices() as u32;
+#[test]
+fn forkgraph_bfs_levels_match_sequential_bfs() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD00D + case);
+        let graph = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..6);
+        let source = rng.gen_range(0u32..graph.num_vertices() as u32);
         let pg = PartitionedGraph::build(
             &graph,
             PartitionConfig::with_partitions(PartitionMethod::BfsGrow, k),
         );
         let fork = ForkGraphEngine::new(&pg, EngineConfig::default()).run_bfs(&[source]);
-        prop_assert_eq!(&fork.per_query[0], &forkgraph::seq::bfs::bfs(&graph, source).level);
+        assert_eq!(
+            &fork.per_query[0],
+            &forkgraph::seq::bfs::bfs(&graph, source).level,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ppr_mass_is_conserved_under_partitioned_execution(
-        graph in arb_graph(),
-        k in 1usize..5,
-        seed in 0u32..60,
-    ) {
-        let seed = seed % graph.num_vertices() as u32;
+#[test]
+fn ppr_mass_is_conserved_under_partitioned_execution() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE44 + case);
+        let graph = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u32..graph.num_vertices() as u32);
         let pg = PartitionedGraph::build(
             &graph,
             PartitionConfig::with_partitions(PartitionMethod::Multilevel, k),
@@ -95,40 +116,48 @@ proptest! {
         let config = forkgraph::seq::ppr::PprConfig { epsilon: 1e-4, ..Default::default() };
         let fork = ForkGraphEngine::new(&pg, EngineConfig::default()).run_ppr(&[seed], &config);
         let mass = fork.per_query[0].total_mass();
-        prop_assert!((mass - 1.0).abs() < 1e-6, "mass {}", mass);
+        assert!((mass - 1.0).abs() < 1e-6, "case {case}: mass {mass}");
     }
+}
 
-    #[test]
-    fn cache_simulator_misses_never_exceed_accesses(
-        addrs in proptest::collection::vec(0u64..100_000, 1..500),
-    ) {
+#[test]
+fn cache_simulator_misses_never_exceed_accesses() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF00 + case);
+        let len = rng.gen_range(1usize..500);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..100_000)).collect();
         let mut sim = forkgraph::cachesim::CacheSim::new(CacheConfig::tiny(16 * 1024));
         for a in &addrs {
             sim.access(*a, forkgraph::cachesim::AccessKind::Read);
         }
         let stats = sim.stats();
-        prop_assert_eq!(stats.accesses, addrs.len() as u64);
-        prop_assert!(stats.misses <= stats.accesses);
-        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        assert_eq!(stats.accesses, addrs.len() as u64, "case {case}");
+        assert!(stats.misses <= stats.accesses, "case {case}");
+        assert_eq!(stats.hits + stats.misses, stats.accesses, "case {case}");
         // Distinct lines touched lower-bounds the misses.
         let mut lines: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
         lines.sort_unstable();
         lines.dedup();
-        prop_assert!(stats.misses >= lines.len() as u64);
+        assert!(stats.misses >= lines.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn consolidation_preserves_the_operation_multiset(
-        ops in proptest::collection::vec((0u32..16, 0u32..100, 0u64..1000), 0..300),
-        buckets in 1usize..16,
-    ) {
-        use forkgraph::core::buffer::ConsolidationMethod;
-        use forkgraph::core::{Operation, PartitionBuffer};
+#[test]
+fn consolidation_preserves_the_operation_multiset() {
+    use forkgraph::core::buffer::ConsolidationMethod;
+    use forkgraph::core::{Operation, PartitionBuffer};
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xAB5 + case);
+        let len = rng.gen_range(0usize..300);
+        let ops: Vec<(u32, u32, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0u32..16), rng.gen_range(0u32..100), rng.gen_range(0u64..1000)))
+            .collect();
+        let buckets = rng.gen_range(1usize..16);
         let mut buffer = PartitionBuffer::new(buckets);
         for &(q, v, p) in &ops {
             buffer.push(Operation::new(q, v, p, p));
         }
-        prop_assert_eq!(buffer.len(), ops.len());
+        assert_eq!(buffer.len(), ops.len(), "case {case}");
         let groups = buffer.drain_consolidated(ConsolidationMethod::Sort);
         let mut drained: Vec<(u32, u32, u64)> = groups
             .iter()
@@ -137,6 +166,6 @@ proptest! {
         let mut expected = ops.clone();
         drained.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(drained, expected);
+        assert_eq!(drained, expected, "case {case}");
     }
 }

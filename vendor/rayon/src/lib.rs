@@ -1,0 +1,360 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the data-parallel API subset the workspace uses —
+//! `par_iter`/`into_par_iter` with `map`, `filter_map`, `enumerate`, `fold`,
+//! `reduce`, `for_each`, `collect`, plus `current_num_threads` and
+//! `ThreadPoolBuilder::install` — on top of `std::thread::scope`.
+//!
+//! Unlike rayon there is no persistent work-stealing pool: each parallel
+//! adapter chunks its (materialized) input across `current_num_threads()`
+//! OS threads spawned for that call. That keeps semantics (including
+//! panic propagation and deterministic output order) while staying
+//! dependency-free. For the partition-at-a-time workloads in this repo the
+//! per-call spawn cost is dwarfed by per-chunk work; `ThreadPoolBuilder`
+//! exists so thread-scaling experiments can still cap the worker count.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Per-thread override installed by `ThreadPool::install`.
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel adapters will use on this thread.
+pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.with(|c| c.get());
+    if overridden > 0 {
+        overridden
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for thread-scaling experiments.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type for API parity; the shim builder cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that scopes a thread-count override rather than owning threads.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing parallel adapters.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        NUM_THREADS_OVERRIDE.with(|c| {
+            let prev = c.replace(self.num_threads);
+            struct Restore<'a>(&'a Cell<usize>, usize);
+            impl Drop for Restore<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _restore = Restore(c, prev);
+            f()
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Apply `f` to every item on a scoped thread team, preserving input order.
+fn par_map_vec<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.append(&mut handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialized parallel iterator: adapters evaluate eagerly in parallel.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        ParIter { items: par_map_vec(self.into_vec(), &f) }
+    }
+
+    fn filter_map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Sync + Send,
+    {
+        ParIter { items: par_map_vec(self.into_vec(), &f).into_iter().flatten().collect() }
+    }
+
+    fn filter<F>(self, f: F) -> ParIter<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        self.filter_map(move |item| if f(&item) { Some(item) } else { None })
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        par_map_vec(self.into_vec(), &f);
+    }
+
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter { items: self.into_vec().into_iter().enumerate().collect() }
+    }
+
+    /// Per-chunk sequential fold producing one accumulator per worker chunk
+    /// (rayon contract: follow with `reduce` to combine them).
+    fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        Id: Fn() -> Acc + Sync + Send,
+        F: Fn(Acc, Self::Item) -> Acc + Sync + Send,
+    {
+        let items = self.into_vec();
+        let threads = current_num_threads().max(1);
+        let chunk_size = items.len().div_ceil(threads).max(1);
+        let mut chunks: Vec<Vec<Self::Item>> = Vec::new();
+        let mut rest = items;
+        while rest.len() > chunk_size {
+            let tail = rest.split_off(chunk_size);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        if !rest.is_empty() || chunks.is_empty() {
+            chunks.push(rest);
+        }
+        let identity = &identity;
+        let fold_op = &fold_op;
+        let accs = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().fold(identity(), fold_op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect::<Vec<Acc>>()
+        });
+        ParIter { items: accs }
+    }
+
+    fn reduce<Id, F>(self, identity: Id, reduce_op: F) -> Self::Item
+    where
+        Id: Fn() -> Self::Item + Sync + Send,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.into_vec().into_iter().fold(identity(), reduce_op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_vec().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.into_vec().len()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_vec().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Borrowing conversion (`par_iter`) for slices and anything deref-to-slice.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_reduce() {
+        let any_even =
+            (0u32..100).into_par_iter().map(|x| x % 2 == 0).reduce(|| false, |a, b| a | b);
+        assert!(any_even);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_sum() {
+        let v: Vec<u64> = (1u64..=100).collect();
+        let total = v.par_iter().fold(|| 0u64, |acc, &x| acc + x).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let v: Vec<u32> = (0u32..50).collect();
+        let odd: Vec<u32> = v.par_iter().filter_map(|&x| (x % 2 == 1).then_some(x)).collect();
+        assert_eq!(odd.len(), 25);
+        assert!(odd.iter().all(|x| x % 2 == 1));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn enumerate_is_sequentially_indexed() {
+        let v = vec!["a", "b", "c"];
+        let idx: Vec<(usize, &&str)> = v.par_iter().enumerate().collect();
+        assert_eq!(idx.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+}
