@@ -1,0 +1,74 @@
+//! Scaling benchmark of the inter-partition parallel executor.
+//!
+//! One workload — a 24-partition RMAT graph (≥16 partitions, so the worker
+//! pool has real inter-partition parallelism to exploit) with a 32-query SSSP
+//! batch and a 32-query BFS batch — executed by the serial engine and by the
+//! parallel executor at 2/4/8 workers. On a multi-core host the 4-worker
+//! configuration is the acceptance bar: ≥1.5× the serial engine's
+//! throughput. (On a single-core host the parallel rows measure pure executor
+//! overhead instead; the printed `cores=` line says which regime a report
+//! came from.)
+//!
+//! Results are verified against the serial engine every iteration — a scaling
+//! number from a diverging executor would be meaningless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fg_bench::smoke::{workload, Scale};
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // The exact workload the CI perf gate measures (fg_bench::smoke), so this
+    // bench's scaling numbers and the gated smoke report stay in lockstep.
+    let (pg, sources) = workload(Scale::FULL);
+    println!(
+        "parallel scaling workload: {} partitions, {} queries, cores={}",
+        pg.num_partitions(),
+        sources.len(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let serial = ForkGraphEngine::new(&pg, EngineConfig::default());
+    let oracle_sssp = serial.run_sssp(&sources).per_query;
+    let oracle_bfs = serial.run_bfs(&sources).per_query;
+
+    let mut group = c.benchmark_group("parallel_sssp");
+    group.bench_function(BenchmarkId::new("serial", 1), |b| {
+        b.iter(|| {
+            let result = serial.run_sssp(&sources);
+            assert_eq!(result.per_query.len(), sources.len());
+        })
+    });
+    for workers in WORKER_COUNTS {
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(workers));
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                let result = engine.run_sssp(&sources);
+                assert_eq!(result.per_query, oracle_sssp, "parallel SSSP diverged");
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel_bfs");
+    group.bench_function(BenchmarkId::new("serial", 1), |b| {
+        b.iter(|| {
+            let result = serial.run_bfs(&sources);
+            assert_eq!(result.per_query.len(), sources.len());
+        })
+    });
+    for workers in WORKER_COUNTS {
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(workers));
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                let result = engine.run_bfs(&sources);
+                assert_eq!(result.per_query, oracle_bfs, "parallel BFS diverged");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! `repro` — regenerate the paper's tables and figures at laptop scale.
+//! `repro` — regenerate the paper's tables and figures at laptop scale, and
+//! drive the CI perf-regression gate.
 //!
 //! Usage:
 //!
@@ -6,23 +7,121 @@
 //! cargo run --release -p fg-bench --bin repro -- list
 //! cargo run --release -p fg-bench --bin repro -- table1 figure9
 //! cargo run --release -p fg-bench --bin repro -- all
+//!
+//! # CI perf gate:
+//! cargo run --release -p fg-bench --bin repro -- --smoke --json BENCH_pr.json
+//! cargo run --release -p fg-bench --bin repro -- --compare BENCH_baseline.json BENCH_pr.json
 //! ```
 //!
 //! Each experiment prints its Markdown tables and writes them under
-//! `target/repro/<name>.md`.
+//! `target/repro/<name>.md`. `--smoke` measures serial vs parallel throughput
+//! on a fixed workload and (with `--json`) writes the machine-readable
+//! report; `--compare` exits non-zero when any baseline metric regressed more
+//! than the tolerance (default 20%, override with `--tolerance 0.35`).
 
-use fg_bench::{emit_report, experiments};
+use fg_bench::report::{compare, PerfReport};
+use fg_bench::{emit_report, experiments, smoke};
+
+fn usage(registry: &[experiments::Experiment]) {
+    eprintln!("usage: repro [list | all | <experiment>...]");
+    eprintln!("       repro --smoke [--json <out.json>]");
+    eprintln!("       repro --compare <baseline.json> <current.json> [--tolerance <frac>]");
+    eprintln!("experiments:");
+    for (name, _) in registry {
+        eprintln!("  {name}");
+    }
+}
+
+fn read_report(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    PerfReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `--smoke [--json PATH]`: measure and optionally write the JSON report.
+fn run_smoke(args: &[String]) {
+    let outcome = smoke::run_smoke();
+    println!("{}", outcome.table.to_markdown());
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--json requires a path");
+            std::process::exit(1);
+        };
+        std::fs::write(path, outcome.report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+/// `--compare BASELINE CURRENT [--tolerance FRAC]`: the CI regression gate.
+fn run_compare(args: &[String]) {
+    let pos = args.iter().position(|a| a == "--compare").expect("checked by caller");
+    let (Some(baseline_path), Some(current_path)) = (args.get(pos + 1), args.get(pos + 2)) else {
+        eprintln!("--compare requires <baseline.json> <current.json>");
+        std::process::exit(1);
+    };
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(tpos) => args
+            .get(tpos + 1)
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|t| (0.0..1.0).contains(t))
+            .unwrap_or_else(|| {
+                eprintln!("--tolerance requires a fraction in [0, 1)");
+                std::process::exit(1);
+            }),
+        None => 0.20,
+    };
+    let baseline = read_report(baseline_path);
+    let current = read_report(current_path);
+    let regressions = compare(&baseline, &current, tolerance);
+    for (name, value) in &current.metrics {
+        let base = baseline.get(name);
+        let delta = base
+            .map(|b| format!("{:+.1}% vs baseline {b:.1}", (value / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "new metric".to_string());
+        println!("{name}: {value:.1} ({delta})");
+    }
+    if regressions.is_empty() {
+        println!(
+            "perf gate OK: no metric regressed more than {:.0}% against {baseline_path}",
+            tolerance * 100.0
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "REGRESSION {}: {:.1} -> {:.1} qps ({:.0}% of baseline; floor is {:.0}%)",
+            r.metric,
+            r.baseline,
+            r.current,
+            r.ratio() * 100.0,
+            (1.0 - tolerance) * 100.0
+        );
+    }
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments::all_experiments();
 
+    if args.iter().any(|a| a == "--compare") {
+        run_compare(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke(&args);
+        return;
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "help") {
-        eprintln!("usage: repro [list | all | <experiment>...]");
-        eprintln!("experiments:");
-        for (name, _) in &registry {
-            eprintln!("  {name}");
-        }
+        usage(&registry);
         return;
     }
 

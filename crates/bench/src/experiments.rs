@@ -982,6 +982,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("figure16", figure16),
         ("partition_methods", partition_methods),
         ("atomic_free", atomic_free),
+        ("parallel_scaling", crate::smoke::parallel_scaling),
     ]
 }
 
@@ -992,11 +993,11 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_named_uniquely() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 18);
+        assert_eq!(experiments.len(), 19);
         let mut names: Vec<&str> = experiments.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 
     #[test]

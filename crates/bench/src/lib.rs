@@ -12,7 +12,9 @@
 //! cross) are what the harness reproduces.
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
+pub mod smoke;
 
 use std::io::Write;
 use std::path::PathBuf;

@@ -1,0 +1,226 @@
+//! Machine-readable performance reports and the CI regression gate.
+//!
+//! The `repro --smoke` run emits a [`PerfReport`] as JSON (`BENCH_pr.json`);
+//! CI compares it against the committed `BENCH_baseline.json` with
+//! [`compare`] and fails on any throughput regression beyond the tolerance.
+//!
+//! The JSON codec is hand-rolled for the subset we emit (a flat
+//! `"metrics": { "name": number }` object): the build environment has no
+//! `serde_json`, and a 60-line scanner we can unit-test beats a vendored
+//! dependency for a format we fully control.
+
+use std::fmt::Write as _;
+
+/// Version stamped into every report so future shape changes can be detected
+/// instead of mis-parsed.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A flat set of named throughput metrics (queries/second; higher is better).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfReport {
+    /// Schema version of the serialized form.
+    pub schema_version: u64,
+    /// `(metric name, throughput)` pairs, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PerfReport {
+    /// An empty report with the current schema version.
+    pub fn new() -> Self {
+        PerfReport { schema_version: SCHEMA_VERSION, metrics: Vec::new() }
+    }
+
+    /// Append a metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{name}\": {value:.4}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parse the JSON produced by [`Self::to_json`] (tolerating arbitrary
+    /// whitespace). Returns a descriptive error on malformed input.
+    pub fn from_json(input: &str) -> Result<PerfReport, String> {
+        let mut report = PerfReport::new();
+        report.schema_version =
+            extract_number(input, "schema_version").ok_or("missing \"schema_version\"")? as u64;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} not supported (this binary reads version {SCHEMA_VERSION}); \
+                 regenerate the report with a matching `repro --smoke`",
+                report.schema_version
+            ));
+        }
+        let metrics_start = input.find("\"metrics\"").ok_or("missing \"metrics\" object")?;
+        let rest = &input[metrics_start..];
+        let open = rest.find('{').ok_or("\"metrics\" is not an object")?;
+        let body = &rest[open + 1..];
+        let close = body.find('}').ok_or("unterminated \"metrics\" object")?;
+        for pair in body[..close].split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (name, value) =
+                pair.split_once(':').ok_or_else(|| format!("malformed metric entry {pair:?}"))?;
+            let name = name.trim().trim_matches('"');
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("metric {name:?}: unparsable value ({e})"))?;
+            if name.is_empty() {
+                return Err(format!("malformed metric entry {pair:?}"));
+            }
+            report.push(name, value);
+        }
+        Ok(report)
+    }
+}
+
+/// Extract the first `"key": <number>` occurrence outside the metrics map.
+fn extract_number(input: &str, key: &str) -> Option<f64> {
+    let idx = input.find(&format!("\"{key}\""))?;
+    let rest = &input[idx..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// One metric that regressed beyond tolerance (or disappeared).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline throughput.
+    pub baseline: f64,
+    /// Current throughput (`0.0` when the metric vanished).
+    pub current: f64,
+}
+
+impl Regression {
+    /// `current / baseline`, the survival ratio CI prints.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            1.0
+        } else {
+            self.current / self.baseline
+        }
+    }
+}
+
+/// Compare `current` against `baseline`: every baseline metric must reach at
+/// least `(1 - tolerance) * baseline` in the current report. Metrics new in
+/// `current` are fine (they seed the next baseline); metrics *missing* from
+/// `current` are reported as full regressions so a silently deleted
+/// measurement cannot green-wash the gate.
+pub fn compare(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (name, base) in &baseline.metrics {
+        let now = current.get(name).unwrap_or(0.0);
+        if now < base * (1.0 - tolerance) {
+            regressions.push(Regression { metric: name.clone(), baseline: *base, current: now });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        let mut r = PerfReport::new();
+        r.push("sssp_serial_qps", 120.5);
+        r.push("sssp_parallel4_qps", 401.25);
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let back = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.metrics.len(), 2);
+        assert!((back.get("sssp_serial_qps").unwrap() - 120.5).abs() < 1e-9);
+        assert!((back.get("sssp_parallel4_qps").unwrap() - 401.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_rejects_garbage() {
+        let ok =
+            "{\n  \"schema_version\": 1,\n  \"metrics\": {\n    \"a\" : 2.5 ,\n    \"b\":3\n  }\n}";
+        let r = PerfReport::from_json(ok).unwrap();
+        assert_eq!(r.get("a"), Some(2.5));
+        assert_eq!(r.get("b"), Some(3.0));
+        assert!(PerfReport::from_json("{}").is_err());
+        assert!(PerfReport::from_json("{\"schema_version\": 1}").is_err());
+        assert!(
+            PerfReport::from_json("{\"schema_version\": 1, \"metrics\": {\"a\": zebra}}").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_rejected_not_mis_parsed() {
+        let err = PerfReport::from_json("{\"schema_version\": 2, \"metrics\": {\"a\": 1.0}}")
+            .unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_metrics_object_parses() {
+        let r = PerfReport::from_json("{\"schema_version\": 1, \"metrics\": {}}").unwrap();
+        assert!(r.metrics.is_empty());
+        // And round-trips.
+        let again = PerfReport::from_json(&r.to_json()).unwrap();
+        assert!(again.metrics.is_empty());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let baseline = sample();
+        let mut current = PerfReport::new();
+        current.push("sssp_serial_qps", 100.0); // -17%: inside 20% tolerance
+        current.push("sssp_parallel4_qps", 280.0); // -30%: regression
+        current.push("new_metric_qps", 1.0); // new: ignored
+        let regressions = compare(&baseline, &current, 0.20);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "sssp_parallel4_qps");
+        assert!(regressions[0].ratio() < 0.75);
+    }
+
+    #[test]
+    fn compare_treats_missing_metrics_as_regressions() {
+        let baseline = sample();
+        let current = PerfReport::new();
+        let regressions = compare(&baseline, &current, 0.20);
+        assert_eq!(regressions.len(), 2);
+        assert_eq!(regressions[0].current, 0.0);
+    }
+
+    #[test]
+    fn improvements_never_trip_the_gate() {
+        let baseline = sample();
+        let mut current = PerfReport::new();
+        current.push("sssp_serial_qps", 500.0);
+        current.push("sssp_parallel4_qps", 500.0);
+        assert!(compare(&baseline, &current, 0.20).is_empty());
+    }
+}

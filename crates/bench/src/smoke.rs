@@ -1,0 +1,219 @@
+//! The `repro --smoke` workload: a fast, deterministic serial-vs-parallel
+//! throughput measurement feeding the CI perf-regression gate.
+//!
+//! One fixed RMAT workload (8192 vertices, 24 LLC-sized partitions — enough
+//! partitions that inter-partition parallelism has real work to distribute),
+//! one batch of SSSP queries and one of BFS queries. Every configuration is
+//! measured as the **best of three** runs (classic min-of-N noise rejection:
+//! throughput can only be under-measured by interference, never
+//! over-measured), reported as queries/second.
+
+use fg_graph::gen;
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::VertexId;
+use fg_metrics::Table;
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+use crate::report::PerfReport;
+
+/// Worker counts measured (and gated) in addition to the serial engine.
+pub const SMOKE_WORKER_COUNTS: [usize; 2] = [2, 4];
+
+const REPEATS: usize = 3;
+
+/// Size of the smoke workload. [`Scale::FULL`] is what `repro --smoke` (and
+/// therefore the committed baseline) measures; tests use a tiny scale so the
+/// debug-mode suite stays fast while exercising the identical code path.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// `log2` of the RMAT vertex count.
+    pub rmat_levels: u32,
+    /// Partition count (kept ≥ 16 at full scale so the pool has real work).
+    pub partitions: usize,
+    /// Queries per measured batch.
+    pub queries: usize,
+}
+
+impl Scale {
+    /// The CI-gated workload: 8192 vertices, 24 partitions, 32 queries.
+    pub const FULL: Scale = Scale { rmat_levels: 13, partitions: 24, queries: 32 };
+    /// A seconds-not-minutes instance for debug-mode tests.
+    pub const TINY: Scale = Scale { rmat_levels: 8, partitions: 6, queries: 6 };
+}
+
+/// Result of one smoke run: the machine-readable report plus a Markdown table.
+pub struct SmokeOutcome {
+    /// Metrics for `BENCH_*.json`.
+    pub report: PerfReport,
+    /// Human-readable rendering of the same numbers.
+    pub table: Table,
+}
+
+/// The measured workload at `scale`: the partitioned graph and the query
+/// sources. The single source of truth shared by `--smoke`, the
+/// `parallel_scaling` experiment, and `benches/parallel.rs` — all three must
+/// measure the same thing or the CI gate and the scaling bench drift apart.
+pub fn workload(scale: Scale) -> (PartitionedGraph, Vec<VertexId>) {
+    let graph = gen::rmat(scale.rmat_levels, 8, 42).with_random_weights(9, 42);
+    let pg = PartitionedGraph::build(
+        &graph,
+        PartitionConfig::with_partitions(PartitionMethod::Multilevel, scale.partitions),
+    );
+    let n = pg.graph().num_vertices() as u32;
+    let sources = (0..scale.queries as u32).map(|i| (i * 251) % n).collect();
+    (pg, sources)
+}
+
+/// Best-of-`REPEATS` wall time of `run`, in seconds.
+fn best_secs(mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-`REPEATS` throughput of `run` over a `queries`-sized batch.
+fn best_qps(queries: usize, run: impl FnMut()) -> f64 {
+    queries as f64 / best_secs(run)
+}
+
+/// Run the smoke workload at full scale (what CI gates on).
+pub fn run_smoke() -> SmokeOutcome {
+    run_smoke_at(Scale::FULL)
+}
+
+/// Run the smoke workload at an explicit scale.
+pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
+    let (pg, sources) = workload(scale);
+    let mut report = PerfReport::new();
+    let mut table = Table::new(
+        "Bench smoke: serial vs inter-partition parallel throughput (queries/s)",
+        &["configuration", "sssp qps", "bfs qps"],
+    );
+
+    let mut measure = |label: &str, config: EngineConfig| {
+        let engine = ForkGraphEngine::new(&pg, config);
+        let sssp = best_qps(scale.queries, || {
+            engine.run_sssp(&sources);
+        });
+        let bfs = best_qps(scale.queries, || {
+            engine.run_bfs(&sources);
+        });
+        report.push(format!("sssp_{label}_qps"), sssp);
+        report.push(format!("bfs_{label}_qps"), bfs);
+        table.push_row([label.to_string(), format!("{sssp:.1}"), format!("{bfs:.1}")]);
+    };
+
+    measure("serial", EngineConfig::default());
+    for workers in SMOKE_WORKER_COUNTS {
+        measure(&format!("parallel{workers}"), EngineConfig::default().with_threads(workers));
+    }
+
+    // Machine-normalised scaling ratios: parallel-vs-serial on the *same*
+    // host. Unlike raw qps these survive runner-hardware changes, so the
+    // regression gate catches "the executor silently serialised" even when
+    // absolute throughput moved for unrelated reasons.
+    for kernel in ["sssp", "bfs"] {
+        let serial = report.get(&format!("{kernel}_serial_qps")).expect("measured above");
+        let parallel4 = report.get(&format!("{kernel}_parallel4_qps")).expect("measured above");
+        report.push(format!("{kernel}_speedup4"), parallel4 / serial);
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 4 {
+        for kernel in ["sssp", "bfs"] {
+            let speedup = report.get(&format!("{kernel}_speedup4")).expect("pushed above");
+            if speedup < 1.5 {
+                eprintln!(
+                    "[smoke] WARNING: {kernel} 4-worker speedup {speedup:.2}x < 1.5x on a \
+                     {cores}-core host — the executor may have lost inter-partition scaling"
+                );
+            }
+        }
+    } else {
+        eprintln!(
+            "[smoke] note: {cores}-core host — parallel rows measure executor overhead, \
+             not scaling; the >=1.5x bar applies on >=4 cores"
+        );
+    }
+
+    SmokeOutcome { report, table }
+}
+
+/// The `parallel_scaling` experiment: wall time and speedup of the parallel
+/// executor over the serial engine at 1/2/4/8 workers on the smoke workload.
+pub fn parallel_scaling() -> Vec<Table> {
+    let (pg, sources) = workload(Scale::FULL);
+    let mut table = Table::new(
+        "Inter-partition parallel executor scaling (SSSP, 24 partitions, 32 queries)",
+        &["workers", "wall ms", "speedup", "visits", "steals", "idle waits"],
+    );
+    let serial_engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+    let serial_secs = best_secs(|| {
+        serial_engine.run_sssp(&sources);
+    });
+    let serial_result = serial_engine.run_sssp(&sources);
+    table.push_row([
+        "serial".to_string(),
+        format!("{:.1}", serial_secs * 1e3),
+        "1.00x".to_string(),
+        serial_result.work().partition_visits.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    for workers in [2usize, 4, 8] {
+        let engine = ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(workers));
+        let best = best_secs(|| {
+            engine.run_sssp(&sources);
+        });
+        let result = engine.run_sssp(&sources);
+        assert_eq!(
+            result.per_query, serial_result.per_query,
+            "parallel executor diverged from serial results"
+        );
+        let work = result.work();
+        table.push_row([
+            workers.to_string(),
+            format!("{:.1}", best * 1e3),
+            format!("{:.2}x", serial_secs / best),
+            work.partition_visits.to_string(),
+            work.steals.to_string(),
+            work.idle_waits.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The report with values rounded to the JSON emission precision, for
+    /// round-trip comparisons.
+    fn report_rounded(report: &PerfReport) -> PerfReport {
+        let mut rounded = PerfReport::new();
+        for (name, value) in &report.metrics {
+            rounded.push(name.clone(), (value * 1e4).round() / 1e4);
+        }
+        rounded
+    }
+
+    #[test]
+    fn smoke_report_contains_every_gated_metric() {
+        let outcome = run_smoke_at(Scale::TINY);
+        for kernel in ["sssp", "bfs"] {
+            assert!(outcome.report.get(&format!("{kernel}_serial_qps")).unwrap() > 0.0);
+            for workers in SMOKE_WORKER_COUNTS {
+                assert!(
+                    outcome.report.get(&format!("{kernel}_parallel{workers}_qps")).unwrap() > 0.0
+                );
+            }
+        }
+        let json = outcome.report.to_json();
+        let back = PerfReport::from_json(&json).unwrap();
+        assert_eq!(back, report_rounded(&outcome.report));
+    }
+}

@@ -268,6 +268,23 @@ mod tests {
     }
 
     #[test]
+    fn reused_buffer_consolidates_like_a_fresh_one() {
+        // The parallel executor reuses one scratch buffer across visits;
+        // push_batch + drain must behave identically on a drained buffer.
+        let input = [op(1, 10, 5), op(0, 11, 2), op(1, 12, 7)];
+        let mut fresh = PartitionBuffer::new(4);
+        fresh.push_batch(input);
+        let expected = fresh.drain_consolidated(ConsolidationMethod::Sort);
+
+        let mut reused = PartitionBuffer::new(4);
+        reused.push_batch([op(9, 1, 1), op(3, 2, 2)]);
+        let _ = reused.drain_consolidated(ConsolidationMethod::Sort);
+        reused.push_batch(input);
+        assert_eq!(reused.drain_consolidated(ConsolidationMethod::Sort), expected);
+        assert_eq!(reused.min_priority(), u64::MAX);
+    }
+
+    #[test]
     fn drain_on_empty_buffer_is_empty() {
         let mut b: PartitionBuffer<u64> = PartitionBuffer::new(8);
         assert!(b.drain_consolidated(ConsolidationMethod::Sort).is_empty());

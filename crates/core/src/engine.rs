@@ -87,6 +87,11 @@ pub struct EngineConfig {
     pub consolidation_method: ConsolidationMethod,
     /// Simulated LLC geometry; `None` disables cache simulation.
     pub cache: Option<CacheConfig>,
+    /// Worker threads for the inter-partition parallel executor
+    /// ([`crate::executor`]). `1` (the default) keeps the paper's serial
+    /// partition-at-a-time loop; values above one process disjoint partitions
+    /// concurrently. `0` means "one worker per available CPU".
+    pub num_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +103,7 @@ impl Default for EngineConfig {
             num_buckets: 64,
             consolidation_method: ConsolidationMethod::Sort,
             cache: None,
+            num_threads: 1,
         }
     }
 }
@@ -145,6 +151,22 @@ impl EngineConfig {
     pub fn with_yield_policy(mut self, yield_policy: YieldPolicy) -> Self {
         self.yield_policy = yield_policy;
         self
+    }
+
+    /// Set the worker-thread count of the parallel executor (`1` = serial,
+    /// `0` = one worker per available CPU).
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Worker threads this configuration resolves to on this machine.
+    pub fn resolved_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        }
     }
 }
 
@@ -204,13 +226,13 @@ impl<S> ForkGraphRunResult<S> {
 }
 
 /// Outcome of one query's processing during one partition visit.
-struct VisitOutcome<V> {
-    query: u32,
+pub(crate) struct VisitOutcome<V> {
+    pub(crate) query: u32,
     /// Operations yielded or left unprocessed; they return to the partition's
     /// buffer.
-    leftover: Vec<Operation<V>>,
+    pub(crate) leftover: Vec<Operation<V>>,
     /// Operations targeting other partitions, sent in batches after the visit.
-    remote: Vec<(PartitionId, Operation<V>)>,
+    pub(crate) remote: Vec<(PartitionId, Operation<V>)>,
 }
 
 /// The ForkGraph execution engine over an LLC-partitioned graph.
@@ -236,11 +258,20 @@ impl<'g> ForkGraphEngine<'g> {
     }
 
     /// Run a batch of queries of kernel `K`, one from each source vertex.
+    ///
+    /// With `config.num_threads > 1` (and more than one partition) the batch
+    /// is executed by the inter-partition parallel executor
+    /// ([`crate::executor`]); otherwise by the paper's serial
+    /// partition-at-a-time loop below.
     pub fn run<K: FppKernel>(
         &self,
         kernel: &K,
         sources: &[VertexId],
     ) -> ForkGraphRunResult<K::State> {
+        let workers = self.config.resolved_threads();
+        if workers > 1 && self.pg.num_partitions() > 1 && !sources.is_empty() {
+            return crate::executor::run_parallel(self, kernel, sources, workers);
+        }
         let graph = self.pg.graph();
         let num_partitions = self.pg.num_partitions();
         let num_queries = sources.len();
@@ -345,9 +376,23 @@ impl<'g> ForkGraphEngine<'g> {
 
         counters.add_queries_completed(num_queries as u64);
         let per_query: Vec<K::State> = states.into_iter().map(|m| m.into_inner()).collect();
-        let wall_time: Duration = watch.elapsed();
+        let measurement = self.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
+        ForkGraphRunResult { per_query, measurement }
+    }
+
+    /// Assemble the [`Measurement`] of one run; shared between the serial loop
+    /// and the parallel executor.
+    pub(crate) fn build_measurement(
+        &self,
+        wall_time: Duration,
+        counters: &WorkCounters,
+        tracer: &GraphAccessTracer,
+        num_queries: usize,
+    ) -> Measurement {
+        let graph = self.pg.graph();
+        let num_partitions = self.pg.num_partitions();
         let cache_stats = tracer.stats();
-        let measurement = Measurement {
+        Measurement {
             label: "ForkGraph".to_string(),
             wall_time,
             work: counters.snapshot(),
@@ -361,13 +406,13 @@ impl<'g> ForkGraphEngine<'g> {
                 query_state_bytes: (num_queries * graph.num_vertices() * 8) as u64,
                 auxiliary_bytes: (num_partitions * self.config.num_buckets * 16) as u64,
             }),
-        };
-        ForkGraphRunResult { per_query, measurement }
+        }
     }
 
     /// Process one query's consolidated operations within one partition visit.
+    /// Shared between the serial loop above and the parallel executor.
     #[allow(clippy::too_many_arguments)]
-    fn process_query_visit<K: FppKernel>(
+    pub(crate) fn process_query_visit<K: FppKernel>(
         &self,
         kernel: &K,
         graph: &CsrGraph,
@@ -495,7 +540,9 @@ impl<'g> ForkGraphEngine<'g> {
 
 /// Group operations by query while preserving their arrival order within each
 /// query (used when consolidation ordering is disabled).
-fn group_preserving_order<V: Copy>(ops: Vec<Operation<V>>) -> Vec<(u32, Vec<Operation<V>>)> {
+pub(crate) fn group_preserving_order<V: Copy>(
+    ops: Vec<Operation<V>>,
+) -> Vec<(u32, Vec<Operation<V>>)> {
     let mut groups: Vec<(u32, Vec<Operation<V>>)> = Vec::new();
     for op in ops {
         match groups.iter_mut().find(|(q, _)| *q == op.query) {

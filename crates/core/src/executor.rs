@@ -1,0 +1,522 @@
+//! Inter-partition parallel executor: a worker pool over disjoint partitions.
+//!
+//! The serial engine ([`crate::engine::ForkGraphEngine::run`]) visits one
+//! LLC-sized partition at a time. This module adds the orthogonal axis of
+//! parallelism the paper's cache-sized partitions motivate: *disjoint
+//! partitions are processed concurrently*, each worker keeping its current
+//! partition resident in its share of the LLC.
+//!
+//! Architecture:
+//!
+//! * **Mailboxes** — every partition owns a lock-striped mailbox (one stripe
+//!   per worker, so concurrent senders never contend on a stripe). Remote
+//!   operations are posted to the target partition's mailbox instead of being
+//!   pushed into a shared buffer vector.
+//! * **Runnable sets** — each worker has a local set of claimable partitions,
+//!   seeded by the [`fg_graph::partitioned::PartitionedGraph::worker_affinity`]
+//!   hints (footprint-balanced home assignment). Workers pick from their own
+//!   set with the configured [`SchedulingPolicy`] (the same Table 4A rule as
+//!   the serial scheduler, via [`crate::sched::select_by_policy`]) and
+//!   **steal** from other workers' sets when their own drains.
+//! * **Claim protocol** — a partition's mailbox carries an atomic state
+//!   (`Idle → Queued → Running → Dirty`): posting to an idle partition
+//!   enqueues it exactly once; posting to a running partition marks it dirty
+//!   so the owning worker re-enqueues it when the visit ends. A partition is
+//!   therefore never in two runnable sets, and a query's visit to a partition
+//!   stays exclusive.
+//! * **Per-query state** stays single-writer: a worker locks
+//!   `states[q]` for the duration of `q`'s visit, exactly like the serial
+//!   engine's intra-partition processing, so kernels remain atomic-free
+//!   sequential code.
+//! * **Termination** — an ops-in-flight counter tracks every operation from
+//!   the moment it is posted until the visit that drained it completes.
+//!   Leftover/remote operations are re-posted *before* the visit's drain is
+//!   subtracted, so the counter reaches zero exactly when every mailbox is
+//!   empty and no visit is in progress; the pool then quiesces.
+//!
+//! Inside a visit a worker processes its partition's query groups
+//! *sequentially* (no nested intra-partition parallelism): with many
+//! partitions in flight the pool is already saturated, and per-visit thread
+//! teams would only thrash the cache the partitioning fought to keep warm.
+//!
+//! Result equivalence: SSSP and BFS relax monotonically to a unique fixpoint,
+//! so parallel execution is byte-identical to serial execution under every
+//! scheduling policy (property-tested in `tests/parallel_equivalence.rs`).
+//! PPR's lazy forward-push is *not* confluent — its quiescent state depends on
+//! operation grouping even serially (two serial policies already differ) — so
+//! equivalence there is the ACL approximation guarantee, not bitwise equality.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use fg_cachesim::GraphAccessTracer;
+use fg_graph::partition::PartitionId;
+use fg_graph::{CsrGraph, VertexId};
+use fg_metrics::{Stopwatch, WorkCounters, WorkerSnapshot};
+
+use crate::buffer::PartitionBuffer;
+use crate::engine::{group_preserving_order, ForkGraphEngine, ForkGraphRunResult};
+use crate::kernel::FppKernel;
+use crate::operation::{Operation, Priority};
+use crate::sched::{select_by_policy, SchedKey, SchedulingPolicy};
+
+/// Mailbox states of the claim protocol.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DIRTY: u8 = 3;
+
+/// How long an idle worker parks before rescanning every runnable set.
+/// Enqueues notify through `idle_lock`, which makes wakeups race-free (see
+/// [`Pool::enqueue`]); the timeout is only a belt-and-braces rescan.
+const PARK_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// A partition's sharded, lock-striped mailbox: one stripe per worker, so
+/// concurrent senders append without contending with each other. `len`,
+/// `min_priority`, and `stamp` are scheduling *hints* (approximate under
+/// concurrent pushes — a stale minimum only makes the partition look more
+/// urgent); correctness never depends on them.
+struct Mailbox<V> {
+    stripes: Vec<Mutex<Vec<Operation<V>>>>,
+    len: AtomicUsize,
+    min_priority: AtomicU64,
+    stamp: AtomicU64,
+    state: AtomicU8,
+}
+
+impl<V: Copy> Mailbox<V> {
+    fn new(num_stripes: usize) -> Self {
+        Mailbox {
+            stripes: (0..num_stripes.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            len: AtomicUsize::new(0),
+            min_priority: AtomicU64::new(Priority::MAX),
+            stamp: AtomicU64::new(0),
+            state: AtomicU8::new(IDLE),
+        }
+    }
+
+    fn push(&self, stripe: usize, op: Operation<V>) {
+        let priority = op.priority;
+        // Count before publishing: a drain racing this push then sees `len`
+        // as an overestimate (harmless hint skew) instead of underflowing
+        // `fetch_sub` to ~usize::MAX, which would make the MaxOperations
+        // policy chase a near-empty partition.
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.min_priority.fetch_min(priority, Ordering::Relaxed);
+        self.stripes[stripe % self.stripes.len()].lock().push(op);
+    }
+
+    /// Take every buffered operation. Pushes racing the drain land in either
+    /// this visit or (via the `Dirty` state) the next one.
+    fn drain(&self) -> Vec<Operation<V>> {
+        self.min_priority.store(Priority::MAX, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            out.append(&mut stripe.lock());
+        }
+        self.len.fetch_sub(out.len(), Ordering::Relaxed);
+        out
+    }
+
+    fn sched_key(&self) -> SchedKey {
+        SchedKey {
+            len: self.len.load(Ordering::Relaxed),
+            priority: self.min_priority.load(Ordering::Relaxed),
+            stamp: self.stamp.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared state of one parallel run.
+struct Pool<'e, 'g, K: FppKernel> {
+    engine: &'e ForkGraphEngine<'g>,
+    kernel: &'e K,
+    graph: &'e CsrGraph,
+    mailboxes: Vec<Mailbox<K::Value>>,
+    states: Vec<Mutex<K::State>>,
+    /// Per-worker runnable sets; a partition id appears in at most one set.
+    queues: Vec<Mutex<Vec<PartitionId>>>,
+    /// Partition → home worker (footprint-balanced affinity hints).
+    affinity: Vec<usize>,
+    policy: SchedulingPolicy,
+    /// Operations posted but not yet consumed by a completed visit.
+    in_flight: AtomicI64,
+    /// Total partitions currently in any runnable set (parking fast-path).
+    runnable: AtomicUsize,
+    /// Workers currently parked (or committed to park) on `idle_cv`; lets the
+    /// enqueue hot path skip the lock+notify when everyone is busy.
+    parked: AtomicUsize,
+    done: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    next_stamp: AtomicU64,
+    counters: &'e WorkCounters,
+    tracer: &'e GraphAccessTracer,
+    num_queries: usize,
+}
+
+/// Sets `done` and wakes every parked worker if its worker panics, so a
+/// kernel panic fails the run instead of deadlocking the pool.
+struct PanicReaper<'p, 'e, 'g, K: FppKernel>(&'p Pool<'e, 'g, K>);
+
+impl<K: FppKernel> Drop for PanicReaper<'_, '_, '_, K> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.done.store(true, Ordering::SeqCst);
+            self.0.idle_cv.notify_all();
+        }
+    }
+}
+
+impl<'e, 'g, K: FppKernel> Pool<'e, 'g, K> {
+    /// Post `op` to partition `p`'s mailbox from worker `stripe` and make the
+    /// partition runnable. The in-flight increment happens *before* the op is
+    /// visible so the termination counter can never under-count.
+    fn post(&self, stripe: usize, p: usize, op: Operation<K::Value>) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.mailboxes[p].push(stripe, op);
+        self.counters.add_buffered(1);
+        self.make_runnable(p);
+    }
+
+    /// Drive partition `p` to the `Queued` state (enqueuing it exactly once)
+    /// or mark a running visit `Dirty` so its owner re-enqueues it.
+    fn make_runnable(&self, p: usize) {
+        let state = &self.mailboxes[p].state;
+        loop {
+            match state.load(Ordering::Acquire) {
+                IDLE => {
+                    if state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(p);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if state
+                        .compare_exchange(RUNNING, DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // QUEUED or DIRTY: a wakeup is already pending.
+                _ => return,
+            }
+        }
+    }
+
+    fn enqueue(&self, p: usize) {
+        self.mailboxes[p]
+            .stamp
+            .store(self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.queues[self.affinity[p]].lock().push(p as PartitionId);
+        self.runnable.fetch_add(1, Ordering::SeqCst);
+        // SeqCst pairing with the park path (which bumps `parked` *before*
+        // re-checking `runnable` under `idle_lock`): if we read `parked == 0`
+        // here, the parking worker's runnable-check is ordered after our
+        // increment and it will not park; otherwise we take `idle_lock`
+        // before notifying, so the worker is either pre-check (sees
+        // `runnable > 0`) or inside `wait_for` (receives the notify). Either
+        // way no handoff waits out the park timeout.
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            drop(self.idle_lock.lock());
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Pop one partition from runnable set `qi` using the scheduling policy.
+    fn pop_queue(&self, qi: usize, rng: &mut SmallRng) -> Option<usize> {
+        let mut queue = self.queues[qi].lock();
+        let pos = select_by_policy(self.policy, rng, queue.len(), |i| {
+            self.mailboxes[queue[i] as usize].sched_key()
+        })?;
+        let p = queue.swap_remove(pos) as usize;
+        self.runnable.fetch_sub(1, Ordering::SeqCst);
+        Some(p)
+    }
+
+    /// Claim the next partition: own runnable set first, then steal.
+    fn claim(&self, w: usize, rng: &mut SmallRng, stats: &mut WorkerSnapshot) -> Option<usize> {
+        if let Some(p) = self.pop_queue(w, rng) {
+            return Some(p);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (w + offset) % self.queues.len();
+            if let Some(p) = self.pop_queue(victim, rng) {
+                stats.steals += 1;
+                self.counters.add_steal();
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// One partition visit: drain the mailbox, consolidate, process every
+    /// query group under its per-query lock, route outcomes, update the
+    /// termination counter, and run the `Running → Idle | Queued` epilogue.
+    /// `scratch` is the worker's reusable consolidation buffer (same
+    /// bucketing as the serial engine, without per-visit allocation).
+    fn visit(
+        &self,
+        w: usize,
+        p: usize,
+        stats: &mut WorkerSnapshot,
+        scratch: &mut PartitionBuffer<K::Value>,
+    ) {
+        let mailbox = &self.mailboxes[p];
+        mailbox.state.store(RUNNING, Ordering::Release);
+        let drained = mailbox.drain();
+        let drained_count = drained.len();
+
+        if drained_count > 0 {
+            self.counters.add_partition_visit();
+            stats.visits += 1;
+            stats.operations += drained_count as u64;
+            let config = self.engine.config();
+            let groups: Vec<(u32, Vec<Operation<K::Value>>)> = if config.consolidate {
+                scratch.push_batch(drained);
+                scratch.drain_consolidated(config.consolidation_method)
+            } else {
+                group_preserving_order(drained)
+            };
+            let partition_id = p as PartitionId;
+            let partition_edges =
+                self.engine.partitioned_graph().partition(partition_id).num_edges() as u64;
+            for (q, ops) in groups {
+                let outcome = {
+                    let mut state = self.states[q as usize].lock();
+                    self.engine.process_query_visit(
+                        self.kernel,
+                        self.graph,
+                        partition_id,
+                        q,
+                        ops,
+                        &mut state,
+                        partition_edges,
+                        self.num_queries,
+                        self.tracer,
+                        self.counters,
+                    )
+                };
+                for op in outcome.leftover {
+                    self.post(w, p, op);
+                }
+                for (target, op) in outcome.remote {
+                    self.post(w, target as usize, op);
+                }
+            }
+            // The drained operations leave the system only now, after their
+            // successors were posted; a zero here is global quiescence.
+            if self.in_flight.fetch_sub(drained_count as i64, Ordering::SeqCst)
+                == drained_count as i64
+            {
+                self.done.store(true, Ordering::SeqCst);
+                drop(self.idle_lock.lock());
+                self.idle_cv.notify_all();
+            }
+        }
+
+        loop {
+            match mailbox.state.compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(DIRTY) => {
+                    if mailbox
+                        .state
+                        .compare_exchange(DIRTY, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(p);
+                        break;
+                    }
+                }
+                Err(other) => unreachable!("mailbox in state {other} during visit epilogue"),
+            }
+        }
+    }
+
+    fn worker_loop(&self, w: usize, seed: u64) -> WorkerSnapshot {
+        let _reaper = PanicReaper(self);
+        let mut stats = WorkerSnapshot { worker: w as u32, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut scratch: PartitionBuffer<K::Value> =
+            PartitionBuffer::new(self.engine.config().num_buckets);
+        while !self.done.load(Ordering::SeqCst) {
+            match self.claim(w, &mut rng, &mut stats) {
+                Some(p) => self.visit(w, p, &mut stats, &mut scratch),
+                None => {
+                    stats.idle_waits += 1;
+                    self.counters.add_idle_wait();
+                    let mut guard = self.idle_lock.lock();
+                    self.parked.fetch_add(1, Ordering::SeqCst);
+                    if self.done.load(Ordering::SeqCst) || self.runnable.load(Ordering::SeqCst) > 0
+                    {
+                        self.parked.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let _ = self.idle_cv.wait_for(&mut guard, PARK_TIMEOUT);
+                    self.parked.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Run `kernel` over `sources` with `num_workers` inter-partition workers.
+/// Called by [`ForkGraphEngine::run`] when `config.num_threads > 1`; result-
+/// equivalent to the serial loop (see the module docs for the PPR caveat).
+pub(crate) fn run_parallel<K: FppKernel>(
+    engine: &ForkGraphEngine<'_>,
+    kernel: &K,
+    sources: &[VertexId],
+    num_workers: usize,
+) -> ForkGraphRunResult<K::State> {
+    let pg = engine.partitioned_graph();
+    let config = *engine.config();
+    let num_partitions = pg.num_partitions();
+    let num_queries = sources.len();
+    let num_workers = num_workers.clamp(2, num_partitions.max(2));
+    let tracer = match config.cache {
+        Some(cache) => GraphAccessTracer::new(cache),
+        None => GraphAccessTracer::disabled(),
+    };
+    let counters = WorkCounters::new();
+    let watch = Stopwatch::start();
+
+    let policy_seed = match config.scheduling {
+        SchedulingPolicy::Random { seed } => seed,
+        _ => 0,
+    };
+    let pool: Pool<'_, '_, K> = Pool {
+        engine,
+        kernel,
+        graph: pg.graph(),
+        mailboxes: (0..num_partitions).map(|_| Mailbox::new(num_workers)).collect(),
+        states: (0..num_queries).map(|_| Mutex::new(kernel.init_state(pg.graph()))).collect(),
+        queues: (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
+        affinity: pg.worker_affinity(num_workers),
+        policy: config.scheduling,
+        in_flight: AtomicI64::new(0),
+        runnable: AtomicUsize::new(0),
+        parked: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        idle_lock: Mutex::new(()),
+        idle_cv: Condvar::new(),
+        next_stamp: AtomicU64::new(0),
+        counters: &counters,
+        tracer: &tracer,
+        num_queries,
+    };
+
+    // InitBuffers(P, Q): seed every query at its source.
+    for (q, &source) in sources.iter().enumerate() {
+        let (value, priority) = kernel.source_op(source);
+        let p = pg.partition_of(source) as usize;
+        pool.post(0, p, Operation::new(q as u32, source, value, priority));
+    }
+
+    let mut worker_stats: Vec<WorkerSnapshot> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_workers)
+            .map(|w| {
+                let pool = &pool;
+                let seed = policy_seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                scope.spawn(move || pool.worker_loop(w, seed))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+    });
+    worker_stats.sort_by_key(|s| s.worker);
+
+    debug_assert_eq!(pool.in_flight.load(Ordering::SeqCst), 0, "pool quiesced with ops in flight");
+    counters.add_queries_completed(num_queries as u64);
+    let per_query: Vec<K::State> = pool.states.into_iter().map(|m| m.into_inner()).collect();
+    let mut measurement =
+        engine.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
+    measurement.work.workers = worker_stats;
+    ForkGraphRunResult { per_query, measurement }
+}
+
+#[cfg(test)]
+mod tests {
+    use fg_graph::partition::{PartitionConfig, PartitionMethod};
+    use fg_graph::partitioned::PartitionedGraph;
+    use fg_graph::{gen, Dist};
+
+    use crate::engine::EngineConfig;
+    use crate::ForkGraphEngine;
+
+    fn partitioned(parts: usize) -> (fg_graph::CsrGraph, PartitionedGraph) {
+        let g = gen::rmat(10, 6, 77).with_random_weights(9, 77);
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, parts),
+        );
+        (g, pg)
+    }
+
+    #[test]
+    fn parallel_sssp_matches_serial_and_dijkstra() {
+        let (g, pg) = partitioned(12);
+        let sources: Vec<u32> = vec![0, 17, 301, 555];
+        let serial = ForkGraphEngine::new(&pg, EngineConfig::default()).run_sssp(&sources);
+        let parallel =
+            ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(4)).run_sssp(&sources);
+        assert_eq!(serial.per_query, parallel.per_query);
+        let oracle: Vec<Vec<Dist>> =
+            sources.iter().map(|&s| fg_seq::dijkstra::dijkstra(&g, s).dist).collect();
+        assert_eq!(parallel.per_query, oracle);
+    }
+
+    #[test]
+    fn parallel_run_reports_per_worker_stats() {
+        let (_, pg) = partitioned(8);
+        let result = ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(3))
+            .run_bfs(&[0, 5, 9, 100]);
+        let work = result.work();
+        assert_eq!(work.workers.len(), 3);
+        let visits: u64 = work.workers.iter().map(|w| w.visits).sum();
+        assert_eq!(visits, work.partition_visits);
+        // Every posted (buffered) operation is drained by exactly one visit.
+        let ops: u64 = work.workers.iter().map(|w| w.operations).sum();
+        assert_eq!(ops, work.operations_buffered);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let config = EngineConfig::default().with_threads(0);
+        assert!(config.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn single_partition_falls_back_to_serial() {
+        let g = gen::rmat(8, 5, 3).with_random_weights(6, 3);
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 1),
+        );
+        let result =
+            ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(8)).run_sssp(&[0, 2]);
+        // Serial fallback leaves no per-worker breakdown.
+        assert!(result.work().workers.is_empty());
+        assert_eq!(result.per_query[0], fg_seq::dijkstra::dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn parallel_with_cache_simulation_reports_cache_numbers() {
+        let (_, pg) = partitioned(6);
+        let config = EngineConfig::default()
+            .with_threads(4)
+            .with_cache(fg_cachesim::CacheConfig::tiny(64 * 1024));
+        let result = ForkGraphEngine::new(&pg, config).run_sssp(&[0, 1, 2]);
+        let cache = result.measurement.cache.unwrap();
+        assert!(cache.accesses > 0);
+    }
+}

@@ -21,6 +21,12 @@
 //!    partition to avoid redundant work; operations that target other
 //!    partitions are sent to their buffers in batches when the partition visit
 //!    ends.
+//! 5. With [`engine::EngineConfig::num_threads`] ` > 1`, the inter-partition
+//!    parallel [`executor`] processes **disjoint partitions concurrently**: a
+//!    worker pool claims runnable partitions (work-stealing when a worker's
+//!    own set drains), routes remote operations through sharded, lock-striped
+//!    mailboxes, and quiesces via an ops-in-flight counter. Serial mode stays
+//!    the default for ablation parity.
 //!
 //! Built-in kernels cover the query types of the paper: SSSP, BFS, DFS, PPR,
 //! and random walks ([`kernels`]). Applications (BC, NCP, LL) live in the
@@ -28,6 +34,7 @@
 
 pub mod buffer;
 pub mod engine;
+pub mod executor;
 pub mod kernel;
 pub mod kernels;
 pub mod operation;
@@ -38,5 +45,5 @@ pub use buffer::PartitionBuffer;
 pub use engine::{AblationLevel, EngineConfig, ForkGraphEngine, ForkGraphRunResult};
 pub use kernel::FppKernel;
 pub use operation::{Operation, Priority};
-pub use sched::SchedulingPolicy;
+pub use sched::{SchedKey, SchedulingPolicy};
 pub use yield_policy::YieldPolicy;

@@ -18,6 +18,63 @@ use serde::{Deserialize, Serialize};
 use fg_graph::partition::PartitionId;
 
 use crate::buffer::PartitionBuffer;
+use crate::operation::Priority;
+
+/// A scheduler's view of one candidate partition's pending work: the metadata
+/// every policy of Table 4A needs to rank candidates. Produced by the serial
+/// engine's [`PartitionBuffer`] ([`PartitionBuffer::sched_key`]) and by the
+/// parallel executor's mailboxes, so both execution modes share one selection
+/// rule ([`select_by_policy`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SchedKey {
+    /// Number of pending operations.
+    pub len: usize,
+    /// Best (lowest) pending priority, `Priority::MAX` when unknown/empty.
+    pub priority: Priority,
+    /// Tick at which the partition last became runnable (FIFO order).
+    pub stamp: u64,
+}
+
+impl<V: Copy> PartitionBuffer<V> {
+    /// This buffer's scheduling metadata.
+    pub fn sched_key(&self) -> SchedKey {
+        SchedKey { len: self.len(), priority: self.min_priority(), stamp: self.fifo_stamp }
+    }
+}
+
+/// Apply `policy` to `num_candidates` candidate partitions (metadata for
+/// position `i` resolved through `key_of(i)`), returning the winning
+/// *position* in `0..num_candidates`, or `None` when there are no candidates.
+///
+/// Positional (rather than slice-based) so callers holding a lock over their
+/// candidate list — the executor picks from a mutex-guarded runnable set —
+/// can select without copying the list out first.
+///
+/// This is the single selection rule of Table 4A, shared by the serial
+/// [`Scheduler`] and every worker of the parallel executor.
+pub fn select_by_policy(
+    policy: SchedulingPolicy,
+    rng: &mut SmallRng,
+    num_candidates: usize,
+    key_of: impl Fn(usize) -> SchedKey,
+) -> Option<usize> {
+    if num_candidates == 0 {
+        return None;
+    }
+    let pos = match policy {
+        SchedulingPolicy::Random { .. } => rng.gen_range(0..num_candidates),
+        SchedulingPolicy::MaxOperations => {
+            (0..num_candidates).max_by_key(|&i| key_of(i).len).expect("non-empty")
+        }
+        SchedulingPolicy::Fifo => {
+            (0..num_candidates).min_by_key(|&i| key_of(i).stamp).expect("non-empty")
+        }
+        SchedulingPolicy::Priority => {
+            (0..num_candidates).min_by_key(|&i| key_of(i).priority).expect("non-empty")
+        }
+    };
+    Some(pos)
+}
 
 /// Inter-partition scheduling policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -95,22 +152,10 @@ impl Scheduler {
     pub fn next<V: Copy>(&mut self, buffers: &[PartitionBuffer<V>]) -> Option<PartitionId> {
         let non_empty: Vec<usize> =
             buffers.iter().enumerate().filter(|(_, b)| !b.is_empty()).map(|(i, _)| i).collect();
-        if non_empty.is_empty() {
-            return None;
-        }
-        let chosen = match self.policy {
-            SchedulingPolicy::Random { .. } => non_empty[self.rng.gen_range(0..non_empty.len())],
-            SchedulingPolicy::MaxOperations => {
-                *non_empty.iter().max_by_key(|&&i| buffers[i].len()).expect("non-empty")
-            }
-            SchedulingPolicy::Fifo => {
-                *non_empty.iter().min_by_key(|&&i| buffers[i].fifo_stamp).expect("non-empty")
-            }
-            SchedulingPolicy::Priority => {
-                *non_empty.iter().min_by_key(|&&i| buffers[i].min_priority()).expect("non-empty")
-            }
-        };
-        Some(chosen as PartitionId)
+        let pos = select_by_policy(self.policy, &mut self.rng, non_empty.len(), |i| {
+            buffers[non_empty[i]].sched_key()
+        })?;
+        Some(non_empty[pos] as PartitionId)
     }
 }
 
@@ -187,6 +232,30 @@ mod tests {
         };
         assert_eq!(picks_a, picks_b);
         assert!(picks_a.iter().all(|&p| p != 1), "never picks an empty partition");
+    }
+
+    #[test]
+    fn select_by_policy_matches_metadata_semantics() {
+        let keys = [
+            SchedKey { len: 3, priority: 50, stamp: 9 },
+            SchedKey { len: 1, priority: 5, stamp: 2 },
+            SchedKey { len: 7, priority: 20, stamp: 4 },
+        ];
+        let key_of = |i: usize| keys[i];
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            select_by_policy(SchedulingPolicy::Priority, &mut rng, keys.len(), key_of),
+            Some(1)
+        );
+        assert_eq!(
+            select_by_policy(SchedulingPolicy::MaxOperations, &mut rng, keys.len(), key_of),
+            Some(2)
+        );
+        assert_eq!(select_by_policy(SchedulingPolicy::Fifo, &mut rng, keys.len(), key_of), Some(1));
+        let pick =
+            select_by_policy(SchedulingPolicy::Random { seed: 3 }, &mut rng, keys.len(), key_of);
+        assert!(pick.is_some_and(|p| p < keys.len()));
+        assert_eq!(select_by_policy(SchedulingPolicy::Priority, &mut rng, 0, key_of), None);
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct WorkCounters {
     yields: AtomicU64,
     iterations: AtomicU64,
     queries_completed: AtomicU64,
+    steals: AtomicU64,
+    idle_waits: AtomicU64,
 }
 
 impl WorkCounters {
@@ -73,6 +75,18 @@ impl WorkCounters {
         self.queries_completed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one partition stolen from another worker's runnable set.
+    #[inline]
+    pub fn add_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one idle wait (a worker parked with no runnable partition).
+    #[inline]
+    pub fn add_idle_wait(&self) {
+        self.idle_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> WorkSnapshot {
         WorkSnapshot {
@@ -84,12 +98,33 @@ impl WorkCounters {
             yields: self.yields.load(Ordering::Relaxed),
             iterations: self.iterations.load(Ordering::Relaxed),
             queries_completed: self.queries_completed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            idle_waits: self.idle_waits.load(Ordering::Relaxed),
+            workers: Vec::new(),
         }
     }
 }
 
-/// A point-in-time copy of [`WorkCounters`].
+/// Per-worker statistics of one parallel engine run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerSnapshot {
+    /// Worker index within the pool.
+    pub worker: u32,
+    /// Partition visits this worker performed.
+    pub visits: u64,
+    /// Partitions this worker stole from another worker's runnable set.
+    pub steals: u64,
+    /// Times this worker parked because no partition was runnable.
+    pub idle_waits: u64,
+    /// Operations this worker processed.
+    pub operations: u64,
+}
+
+/// A point-in-time copy of [`WorkCounters`].
+///
+/// `workers` is populated only by the parallel executor (one entry per pool
+/// worker); serial runs leave it empty.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkSnapshot {
     /// Edges relaxed/traversed.
     pub edges_processed: u64,
@@ -107,11 +142,19 @@ pub struct WorkSnapshot {
     pub iterations: u64,
     /// Queries completed.
     pub queries_completed: u64,
+    /// Partitions claimed from another worker's runnable set (parallel mode).
+    pub steals: u64,
+    /// Worker park events with no runnable partition (parallel mode).
+    pub idle_waits: u64,
+    /// Per-worker breakdown (parallel mode; empty for serial runs).
+    pub workers: Vec<WorkerSnapshot>,
 }
 
 impl WorkSnapshot {
-    /// Element-wise sum of two snapshots.
+    /// Element-wise sum of two snapshots (per-worker breakdowns concatenate).
     pub fn merge(&self, other: &WorkSnapshot) -> WorkSnapshot {
+        let mut workers = self.workers.clone();
+        workers.extend(other.workers.iter().copied());
         WorkSnapshot {
             edges_processed: self.edges_processed + other.edges_processed,
             operations_processed: self.operations_processed + other.operations_processed,
@@ -121,6 +164,9 @@ impl WorkSnapshot {
             yields: self.yields + other.yields,
             iterations: self.iterations + other.iterations,
             queries_completed: self.queries_completed + other.queries_completed,
+            steals: self.steals + other.steals,
+            idle_waits: self.idle_waits + other.idle_waits,
+            workers,
         }
     }
 }

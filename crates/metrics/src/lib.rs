@@ -11,7 +11,7 @@ pub mod measurement;
 pub mod report;
 pub mod service;
 
-pub use counters::{WorkCounters, WorkSnapshot};
+pub use counters::{WorkCounters, WorkSnapshot, WorkerSnapshot};
 pub use measurement::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch};
 pub use report::Table;
 pub use service::{ServiceCounters, ServiceSnapshot};

@@ -8,13 +8,13 @@
 //! cache-resident partitions the parallelisation overhead and extra work of
 //! parallel algorithms dominate. This crate provides those sequential kernels:
 //!
-//! * [`dijkstra`] — Dijkstra's algorithm with a binary heap (the priority
+//! * [`mod@dijkstra`] — Dijkstra's algorithm with a binary heap (the priority
 //!   functor the paper reuses for SSSP/BC/LL),
-//! * [`bellman_ford`] — used as an oracle in tests and for the Appendix E
+//! * [`mod@bellman_ford`] — used as an oracle in tests and for the Appendix E
 //!   atomic-free sanity check,
-//! * [`delta_stepping`] — sequential Δ-stepping, the basis of yielding
+//! * [`mod@delta_stepping`] — sequential Δ-stepping, the basis of yielding
 //!   heuristic 2,
-//! * [`bfs`] / [`dfs`] — unweighted traversals,
+//! * [`mod@bfs`] / [`mod@dfs`] — unweighted traversals,
 //! * [`ppr`] — push-based personalized PageRank local clustering (Andersen–
 //!   Chung–Lang, as used by Shun et al. for NCP),
 //! * [`random_walk`] — bounded random walks.

@@ -3,7 +3,8 @@
 //! One background *batcher* thread owns a long-lived [`ForkGraphEngine`] and
 //! repeatedly: waits for pending submissions, lets a batch accumulate for the
 //! configured window (or until the batch-size cap), drains the oldest
-//! submission's [`BatchKey`] cohort from the queue, runs it as a single
+//! submission's [`crate::query::BatchKey`] cohort from the queue, runs it as
+//! a single
 //! consolidated engine run, and demultiplexes the per-source results back to
 //! the submitters' tickets. The submit path is admission-controlled by a
 //! bounded queue — when full, `submit` fails fast with
@@ -248,6 +249,18 @@ impl ForkGraphService {
     /// Start with default engine and service configurations.
     pub fn with_defaults(graph: Arc<PartitionedGraph>) -> Self {
         Self::start(graph, EngineConfig::default(), ServiceConfig::default())
+    }
+
+    /// Start with default configurations but serve batches through the
+    /// inter-partition parallel executor with `num_threads` workers
+    /// (`0` = one worker per available CPU). The batcher thread still owns
+    /// the engine; each consolidated run fans out across partitions.
+    pub fn with_parallel_defaults(graph: Arc<PartitionedGraph>, num_threads: usize) -> Self {
+        Self::start(
+            graph,
+            EngineConfig::default().with_threads(num_threads),
+            ServiceConfig::default(),
+        )
     }
 
     /// A cloneable submission handle.
