@@ -8,9 +8,10 @@
 //! cargo run --release -p fg-bench --bin repro -- table1 figure9
 //! cargo run --release -p fg-bench --bin repro -- all
 //!
-//! # CI perf gate:
+//! # CI perf gate (a directory baseline means "newest BENCH_history entry,
+//! # else BENCH_baseline.json"):
 //! cargo run --release -p fg-bench --bin repro -- --smoke --json BENCH_pr.json
-//! cargo run --release -p fg-bench --bin repro -- --compare BENCH_baseline.json BENCH_pr.json
+//! cargo run --release -p fg-bench --bin repro -- --compare BENCH_history BENCH_pr.json
 //! ```
 //!
 //! Each experiment prints its Markdown tables and writes them under
@@ -19,13 +20,15 @@
 //! report; `--compare` exits non-zero when any baseline metric regressed more
 //! than the tolerance (default 20%, override with `--tolerance 0.35`).
 
-use fg_bench::report::{compare, PerfReport};
+use fg_bench::report::{compare, newest_history_entry, PerfReport};
 use fg_bench::{emit_report, experiments, smoke};
 
 fn usage(registry: &[experiments::Experiment]) {
     eprintln!("usage: repro [list | all | <experiment>...]");
     eprintln!("       repro --smoke [--json <out.json>]");
-    eprintln!("       repro --compare <baseline.json> <current.json> [--tolerance <frac>]");
+    eprintln!(
+        "       repro --compare <baseline.json|history-dir> <current.json> [--tolerance <frac>]"
+    );
     eprintln!("experiments:");
     for (name, _) in registry {
         eprintln!("  {name}");
@@ -41,6 +44,36 @@ fn read_report(path: &str) -> PerfReport {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     })
+}
+
+/// Resolve the baseline argument of `--compare`: a file is used as-is; a
+/// directory (the tracked `BENCH_history/`) resolves to its newest entry,
+/// falling back to the committed `BENCH_baseline.json` while the history is
+/// still empty.
+fn resolve_baseline(path: &str) -> String {
+    let dir = std::path::Path::new(path);
+    if !dir.is_dir() {
+        return path.to_string();
+    }
+    match newest_history_entry(dir) {
+        Some(entry) => {
+            let entry = entry.display().to_string();
+            eprintln!("[repro] baseline: newest history entry {entry}");
+            entry
+        }
+        None => {
+            // Resolve the fallback next to the history directory, not the
+            // CWD, so the gate works from any working directory.
+            let fallback = dir
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .map(|p| p.join("BENCH_baseline.json"))
+                .unwrap_or_else(|| std::path::PathBuf::from("BENCH_baseline.json"));
+            let fallback = fallback.display().to_string();
+            eprintln!("[repro] history {path} is empty; falling back to {fallback}");
+            fallback
+        }
+    }
 }
 
 /// `--smoke [--json PATH]`: measure and optionally write the JSON report.
@@ -78,6 +111,7 @@ fn run_compare(args: &[String]) {
             }),
         None => 0.20,
     };
+    let baseline_path = &resolve_baseline(baseline_path);
     let baseline = read_report(baseline_path);
     let current = read_report(current_path);
     let regressions = compare(&baseline, &current, tolerance);

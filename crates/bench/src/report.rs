@@ -92,6 +92,22 @@ impl PerfReport {
     }
 }
 
+/// The newest entry of a `BENCH_history/` directory: the lexicographically
+/// greatest `*.json` file. History entries are named with a zero-padded PR
+/// ordinal prefix (`0003-worker-pool.json`), so lexicographic order *is*
+/// trajectory order and no filesystem timestamps (which git does not
+/// preserve) are involved. Returns `None` for a missing/empty directory.
+pub fn newest_history_entry(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file() && p.extension().is_some_and(|ext| ext.eq_ignore_ascii_case("json"))
+        })
+        .max_by(|a, b| a.file_name().cmp(&b.file_name()))
+}
+
 /// Extract the first `"key": <number>` occurrence outside the metrics map.
 fn extract_number(input: &str, key: &str) -> Option<f64> {
     let idx = input.find(&format!("\"{key}\""))?;
@@ -213,6 +229,24 @@ mod tests {
         let regressions = compare(&baseline, &current, 0.20);
         assert_eq!(regressions.len(), 2);
         assert_eq!(regressions[0].current, 0.0);
+    }
+
+    #[test]
+    fn newest_history_entry_is_lexicographically_greatest_json() {
+        let dir =
+            std::env::temp_dir().join(format!("fg-bench-history-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(newest_history_entry(&dir), None, "missing dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(newest_history_entry(&dir), None, "empty dir");
+        std::fs::write(dir.join("README.md"), "not a report").unwrap();
+        assert_eq!(newest_history_entry(&dir), None, "non-json ignored");
+        std::fs::write(dir.join("0002-executor.json"), "{}").unwrap();
+        std::fs::write(dir.join("0010-later.json"), "{}").unwrap();
+        std::fs::write(dir.join("0003-pool.json"), "{}").unwrap();
+        let newest = newest_history_entry(&dir).unwrap();
+        assert_eq!(newest.file_name().unwrap(), "0010-later.json");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

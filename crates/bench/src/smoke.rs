@@ -13,7 +13,7 @@ use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::VertexId;
 use fg_metrics::Table;
-use forkgraph_core::{EngineConfig, ForkGraphEngine};
+use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine};
 
 use crate::report::PerfReport;
 
@@ -111,6 +111,49 @@ pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
     measure("serial", EngineConfig::default());
     for workers in SMOKE_WORKER_COUNTS {
         measure(&format!("parallel{workers}"), EngineConfig::default().with_threads(workers));
+    }
+
+    // Small-batch pool-vs-spawn overhead: the fg-service hot path runs one
+    // engine run per micro-batch, so per-run setup cost dominates exactly
+    // when batches are small. Measure a ≤4-query SSSP batch through (a) the
+    // per-run spawn executor and (b) one engine with a warm persistent
+    // pool. Pool mode must not be slower than spawn mode — the pool's whole
+    // point is amortising the spawn/join + allocation cost this workload is
+    // dominated by.
+    let small_sources: Vec<VertexId> = sources.iter().copied().take(4).collect();
+    let spawn_engine = ForkGraphEngine::new(
+        &pg,
+        EngineConfig::default().with_threads(2).with_executor(ExecutorMode::Spawn),
+    );
+    let small_spawn = best_qps(small_sources.len(), || {
+        spawn_engine.run_sssp(&small_sources);
+    });
+    let pool_engine = ForkGraphEngine::new(
+        &pg,
+        EngineConfig::default().with_threads(2).with_executor(ExecutorMode::Pool),
+    );
+    pool_engine.run_sssp(&small_sources); // warm the pool (spawns its threads)
+    let small_pool = best_qps(small_sources.len(), || {
+        pool_engine.run_sssp(&small_sources);
+    });
+    report.push("sssp_small4_spawn_qps", small_spawn);
+    report.push("sssp_small4_pool_qps", small_pool);
+    report.push("small4_pool_vs_spawn", small_pool / small_spawn);
+    table.push_row([
+        "small-batch (4q, 2w) spawn".to_string(),
+        format!("{small_spawn:.1}"),
+        "-".to_string(),
+    ]);
+    table.push_row([
+        "small-batch (4q, 2w) pool".to_string(),
+        format!("{small_pool:.1}"),
+        "-".to_string(),
+    ]);
+    if small_pool < small_spawn * 0.95 {
+        eprintln!(
+            "[smoke] WARNING: small-batch pool throughput {small_pool:.1} qps below spawn \
+             {small_spawn:.1} qps — the persistent pool is losing to per-run thread spawning"
+        );
     }
 
     // Machine-normalised scaling ratios: parallel-vs-serial on the *same*
@@ -212,6 +255,9 @@ mod tests {
                 );
             }
         }
+        assert!(outcome.report.get("sssp_small4_spawn_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("sssp_small4_pool_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("small4_pool_vs_spawn").unwrap() > 0.0);
         let json = outcome.report.to_json();
         let back = PerfReport::from_json(&json).unwrap();
         assert_eq!(back, report_rounded(&outcome.report));

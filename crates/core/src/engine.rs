@@ -12,6 +12,7 @@
 //!         send operations to neighbour partitions in batches
 //! ```
 
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -31,6 +32,7 @@ use crate::buffer::{ConsolidationMethod, PartitionBuffer};
 use crate::kernel::FppKernel;
 use crate::kernels::{BfsKernel, DfsKernel, PprKernel, RandomWalkKernel, SsspKernel};
 use crate::operation::{HeapEntry, Operation};
+use crate::pool::WorkerPool;
 use crate::sched::{Scheduler, SchedulingPolicy};
 use crate::yield_policy::YieldPolicy;
 
@@ -71,6 +73,57 @@ impl AblationLevel {
     }
 }
 
+/// How a multi-threaded engine run gets its worker threads.
+///
+/// The default is resolved once per process from the `FORKGRAPH_EXECUTOR`
+/// environment variable (`serial` | `spawn` | `pool`, anything else or unset
+/// meaning `pool`) so CI can run the whole test suite under each mode; an
+/// explicit [`EngineConfig::with_executor`] always wins over the
+/// environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// Force the paper's serial partition-at-a-time loop even when
+    /// `num_threads > 1` (the ablation/debug escape hatch).
+    Serial,
+    /// PR 2's behaviour: spawn and join scoped worker threads per run.
+    Spawn,
+    /// Dispatch runs onto a persistent [`crate::pool::WorkerPool`]; threads
+    /// are spawned once and per-run allocations are recycled.
+    Pool,
+}
+
+impl ExecutorMode {
+    /// The process-wide default mode, from `FORKGRAPH_EXECUTOR` (cached on
+    /// first use).
+    pub fn from_env() -> ExecutorMode {
+        static MODE: std::sync::OnceLock<ExecutorMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("FORKGRAPH_EXECUTOR") {
+            Ok(value) => match value.as_str() {
+                "serial" => ExecutorMode::Serial,
+                "spawn" => ExecutorMode::Spawn,
+                "pool" => ExecutorMode::Pool,
+                other => {
+                    eprintln!(
+                        "[forkgraph] unknown FORKGRAPH_EXECUTOR value {other:?} \
+                         (expected serial|spawn|pool); defaulting to pool"
+                    );
+                    ExecutorMode::Pool
+                }
+            },
+            Err(_) => ExecutorMode::Pool,
+        })
+    }
+
+    /// Human-readable name (matches the accepted env-var values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorMode::Serial => "serial",
+            ExecutorMode::Spawn => "spawn",
+            ExecutorMode::Pool => "pool",
+        }
+    }
+}
+
 /// Configuration of a [`ForkGraphEngine`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -92,6 +145,10 @@ pub struct EngineConfig {
     /// partition-at-a-time loop; values above one process disjoint partitions
     /// concurrently. `0` means "one worker per available CPU".
     pub num_threads: usize,
+    /// How parallel runs get their worker threads. `None` (the default)
+    /// resolves to [`ExecutorMode::from_env`] — or to [`ExecutorMode::Pool`]
+    /// when a pool was attached with [`ForkGraphEngine::with_pool`].
+    pub executor: Option<ExecutorMode>,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +161,7 @@ impl Default for EngineConfig {
             consolidation_method: ConsolidationMethod::Sort,
             cache: None,
             num_threads: 1,
+            executor: None,
         }
     }
 }
@@ -160,6 +218,12 @@ impl EngineConfig {
         self
     }
 
+    /// Pin the executor mode, overriding the `FORKGRAPH_EXECUTOR` default.
+    pub fn with_executor(mut self, executor: ExecutorMode) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Worker threads this configuration resolves to on this machine.
     pub fn resolved_threads(&self) -> usize {
         if self.num_threads == 0 {
@@ -167,6 +231,14 @@ impl EngineConfig {
         } else {
             self.num_threads
         }
+    }
+
+    /// The executor mode this configuration resolves to: the explicit
+    /// setting if any, else the process-wide environment default. (An
+    /// engine with an attached pool additionally prefers `Pool` — see
+    /// [`ForkGraphEngine::run`].)
+    pub fn resolved_executor(&self) -> ExecutorMode {
+        self.executor.unwrap_or_else(ExecutorMode::from_env)
     }
 }
 
@@ -239,17 +311,41 @@ pub(crate) struct VisitOutcome<V> {
 pub struct ForkGraphEngine<'g> {
     pg: &'g PartitionedGraph,
     config: EngineConfig,
+    /// The persistent worker pool for pool-mode parallel runs: pre-filled by
+    /// [`Self::with_pool`] (a crew shared across engines, e.g. fg-service's),
+    /// or lazily created — once — on the first pool-mode parallel run.
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl<'g> ForkGraphEngine<'g> {
     /// Create an engine over `pg` with the given configuration.
     pub fn new(pg: &'g PartitionedGraph, config: EngineConfig) -> Self {
-        ForkGraphEngine { pg, config }
+        ForkGraphEngine { pg, config, pool: OnceLock::new() }
+    }
+
+    /// Create an engine that runs pool-mode parallel batches on an existing
+    /// shared [`WorkerPool`] instead of lazily creating its own. This is how
+    /// a serving layer amortises one thread crew across many short-lived
+    /// engines (one per micro-batch) with varying worker counts.
+    pub fn with_pool(
+        pg: &'g PartitionedGraph,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        let engine = ForkGraphEngine::new(pg, config);
+        engine.pool.set(pool).expect("fresh OnceLock");
+        engine
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The worker pool this engine dispatches pool-mode runs to, if one has
+    /// been attached or lazily created yet.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.get()
     }
 
     /// The partitioned graph this engine runs over.
@@ -269,8 +365,27 @@ impl<'g> ForkGraphEngine<'g> {
         sources: &[VertexId],
     ) -> ForkGraphRunResult<K::State> {
         let workers = self.config.resolved_threads();
-        if workers > 1 && self.pg.num_partitions() > 1 && !sources.is_empty() {
-            return crate::executor::run_parallel(self, kernel, sources, workers);
+        // Mode precedence: explicit config > attached pool > environment.
+        let mode = match self.config.executor {
+            Some(mode) => mode,
+            None if self.pool.get().is_some() => ExecutorMode::Pool,
+            None => ExecutorMode::from_env(),
+        };
+        if mode != ExecutorMode::Serial
+            && workers > 1
+            && self.pg.num_partitions() > 1
+            && !sources.is_empty()
+        {
+            let pool = match mode {
+                ExecutorMode::Pool => Some(self.pool.get_or_init(|| {
+                    Arc::new(WorkerPool::new(crate::pool::crew_size(
+                        workers,
+                        self.pg.num_partitions(),
+                    )))
+                })),
+                _ => None,
+            };
+            return crate::executor::run_parallel(self, kernel, sources, workers, pool);
         }
         let graph = self.pg.graph();
         let num_partitions = self.pg.num_partitions();

@@ -34,9 +34,17 @@
 //!   subtracted, so the counter reaches zero exactly when every mailbox is
 //!   empty and no visit is in progress; the pool then quiesces.
 //!
+//! * **Worker threads** — a run's crew comes either from per-run scoped
+//!   spawns ([`crate::engine::ExecutorMode::Spawn`], PR 2's behaviour) or,
+//!   by default, from a persistent [`crate::pool::WorkerPool`] that parks
+//!   its threads between runs and recycles the per-run mailbox/queue/scratch
+//!   allocations ([`crate::engine::ExecutorMode::Pool`]). The run-local
+//!   state below is identical in both modes; only the thread lifetime and
+//!   allocation provenance differ.
+//!
 //! Inside a visit a worker processes its partition's query groups
 //! *sequentially* (no nested intra-partition parallelism): with many
-//! partitions in flight the pool is already saturated, and per-visit thread
+//! partitions in flight the crew is already saturated, and per-visit thread
 //! teams would only thrash the cache the partitioning fought to keep warm.
 //!
 //! Result equivalence: SSSP and BFS relax monotonically to a unique fixpoint,
@@ -47,6 +55,7 @@
 //! equivalence there is the ACL approximation guarantee, not bitwise equality.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -62,6 +71,7 @@ use crate::buffer::PartitionBuffer;
 use crate::engine::{group_preserving_order, ForkGraphEngine, ForkGraphRunResult};
 use crate::kernel::FppKernel;
 use crate::operation::{Operation, Priority};
+use crate::pool::{WorkerPool, WorkerSlot};
 use crate::sched::{select_by_policy, SchedKey, SchedulingPolicy};
 
 /// Mailbox states of the claim protocol.
@@ -72,7 +82,7 @@ const DIRTY: u8 = 3;
 
 /// How long an idle worker parks before rescanning every runnable set.
 /// Enqueues notify through `idle_lock`, which makes wakeups race-free (see
-/// [`Pool::enqueue`]); the timeout is only a belt-and-braces rescan.
+/// [`RunState::enqueue`]); the timeout is only a belt-and-braces rescan.
 const PARK_TIMEOUT: Duration = Duration::from_millis(2);
 
 /// A partition's sharded, lock-striped mailbox: one stripe per worker, so
@@ -80,7 +90,10 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(2);
 /// `min_priority`, and `stamp` are scheduling *hints* (approximate under
 /// concurrent pushes — a stale minimum only makes the partition look more
 /// urgent); correctness never depends on them.
-struct Mailbox<V> {
+///
+/// `pub(crate)` so the persistent [`crate::pool::WorkerPool`] can hold
+/// drained mailboxes in its recycle arena between runs.
+pub(crate) struct Mailbox<V> {
     stripes: Vec<Mutex<Vec<Operation<V>>>>,
     len: AtomicUsize,
     min_priority: AtomicU64,
@@ -89,7 +102,7 @@ struct Mailbox<V> {
 }
 
 impl<V: Copy> Mailbox<V> {
-    fn new(num_stripes: usize) -> Self {
+    pub(crate) fn new(num_stripes: usize) -> Self {
         Mailbox {
             stripes: (0..num_stripes.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
             len: AtomicUsize::new(0),
@@ -97,6 +110,24 @@ impl<V: Copy> Mailbox<V> {
             stamp: AtomicU64::new(0),
             state: AtomicU8::new(IDLE),
         }
+    }
+
+    /// Reset a recycled mailbox for a fresh run: claim word back to `Idle`,
+    /// scheduling hints zeroed, stripes emptied (they already are after a
+    /// quiesced run; cleared defensively) and grown to `num_stripes` if the
+    /// new run has more workers than the mailbox has stripes. Keeping extra
+    /// stripes is fine — senders index stripes modulo the stripe count.
+    pub(crate) fn reset_for(&mut self, num_stripes: usize) {
+        for stripe in &mut self.stripes {
+            stripe.lock().clear();
+        }
+        while self.stripes.len() < num_stripes.max(1) {
+            self.stripes.push(Mutex::new(Vec::new()));
+        }
+        *self.len.get_mut() = 0;
+        *self.min_priority.get_mut() = Priority::MAX;
+        *self.stamp.get_mut() = 0;
+        *self.state.get_mut() = IDLE;
     }
 
     fn push(&self, stripe: usize, op: Operation<V>) {
@@ -131,8 +162,10 @@ impl<V: Copy> Mailbox<V> {
     }
 }
 
-/// Shared state of one parallel run.
-struct Pool<'e, 'g, K: FppKernel> {
+/// Shared state of one parallel run. (One instance per `run` call; the
+/// *threads* that drive it come either from per-run scoped spawns or from a
+/// persistent [`crate::pool::WorkerPool`] — see [`run_parallel`].)
+struct RunState<'e, 'g, K: FppKernel> {
     engine: &'e ForkGraphEngine<'g>,
     kernel: &'e K,
     graph: &'e CsrGraph,
@@ -160,8 +193,8 @@ struct Pool<'e, 'g, K: FppKernel> {
 }
 
 /// Sets `done` and wakes every parked worker if its worker panics, so a
-/// kernel panic fails the run instead of deadlocking the pool.
-struct PanicReaper<'p, 'e, 'g, K: FppKernel>(&'p Pool<'e, 'g, K>);
+/// kernel panic fails the run instead of deadlocking the worker crew.
+struct PanicReaper<'p, 'e, 'g, K: FppKernel>(&'p RunState<'e, 'g, K>);
 
 impl<K: FppKernel> Drop for PanicReaper<'_, '_, '_, K> {
     fn drop(&mut self) {
@@ -172,7 +205,7 @@ impl<K: FppKernel> Drop for PanicReaper<'_, '_, '_, K> {
     }
 }
 
-impl<'e, 'g, K: FppKernel> Pool<'e, 'g, K> {
+impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
     /// Post `op` to partition `p`'s mailbox from worker `stripe` and make the
     /// partition runnable. The in-flight increment happens *before* the op is
     /// visible so the termination counter can never under-count.
@@ -342,15 +375,22 @@ impl<'e, 'g, K: FppKernel> Pool<'e, 'g, K> {
         }
     }
 
-    fn worker_loop(&self, w: usize, seed: u64) -> WorkerSnapshot {
+    /// One worker's drive of the run to quiescence. `scratch` is the
+    /// worker's consolidation buffer: spawn mode builds one per run, pool
+    /// mode hands in the thread's recycled buffer from its
+    /// [`crate::pool::WorkerSlot`].
+    fn worker_loop(
+        &self,
+        w: usize,
+        seed: u64,
+        scratch: &mut PartitionBuffer<K::Value>,
+    ) -> WorkerSnapshot {
         let _reaper = PanicReaper(self);
         let mut stats = WorkerSnapshot { worker: w as u32, ..Default::default() };
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut scratch: PartitionBuffer<K::Value> =
-            PartitionBuffer::new(self.engine.config().num_buckets);
         while !self.done.load(Ordering::SeqCst) {
             match self.claim(w, &mut rng, &mut stats) {
-                Some(p) => self.visit(w, p, &mut stats, &mut scratch),
+                Some(p) => self.visit(w, p, &mut stats, scratch),
                 None => {
                     stats.idle_waits += 1;
                     self.counters.add_idle_wait();
@@ -370,20 +410,33 @@ impl<'e, 'g, K: FppKernel> Pool<'e, 'g, K> {
     }
 }
 
+/// Seed used by worker `w` for its scheduling RNG; identical in spawn and
+/// pool mode so the Random policy draws the same per-worker sequences.
+fn worker_seed(policy_seed: u64, w: usize) -> u64 {
+    policy_seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Run `kernel` over `sources` with `num_workers` inter-partition workers.
 /// Called by [`ForkGraphEngine::run`] when `config.num_threads > 1`; result-
 /// equivalent to the serial loop (see the module docs for the PPR caveat).
+///
+/// With `pool = None` (spawn mode) the run spawns and joins scoped worker
+/// threads and builds its mailboxes/queues/scratch fresh — PR 2's behaviour,
+/// kept for the executor-mode test matrix and as the bench baseline. With a
+/// [`WorkerPool`] the run is dispatched onto the persistent crew and its
+/// per-run storage is recycled through the pool's arena.
 pub(crate) fn run_parallel<K: FppKernel>(
     engine: &ForkGraphEngine<'_>,
     kernel: &K,
     sources: &[VertexId],
     num_workers: usize,
+    pool: Option<&Arc<WorkerPool>>,
 ) -> ForkGraphRunResult<K::State> {
     let pg = engine.partitioned_graph();
     let config = *engine.config();
     let num_partitions = pg.num_partitions();
     let num_queries = sources.len();
-    let num_workers = num_workers.clamp(2, num_partitions.max(2));
+    let num_workers = crate::pool::crew_size(num_workers, num_partitions);
     let tracer = match config.cache {
         Some(cache) => GraphAccessTracer::new(cache),
         None => GraphAccessTracer::disabled(),
@@ -395,13 +448,20 @@ pub(crate) fn run_parallel<K: FppKernel>(
         SchedulingPolicy::Random { seed } => seed,
         _ => 0,
     };
-    let pool: Pool<'_, '_, K> = Pool {
+    let (mailboxes, queues) = match pool {
+        Some(pool) => pool.take_run_storage::<K::Value>(num_partitions, num_workers),
+        None => (
+            (0..num_partitions).map(|_| Mailbox::new(num_workers)).collect(),
+            (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
+        ),
+    };
+    let run: RunState<'_, '_, K> = RunState {
         engine,
         kernel,
         graph: pg.graph(),
-        mailboxes: (0..num_partitions).map(|_| Mailbox::new(num_workers)).collect(),
+        mailboxes,
         states: (0..num_queries).map(|_| Mutex::new(kernel.init_state(pg.graph()))).collect(),
-        queues: (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
+        queues,
         affinity: pg.worker_affinity(num_workers),
         policy: config.scheduling,
         in_flight: AtomicI64::new(0),
@@ -420,24 +480,46 @@ pub(crate) fn run_parallel<K: FppKernel>(
     for (q, &source) in sources.iter().enumerate() {
         let (value, priority) = kernel.source_op(source);
         let p = pg.partition_of(source) as usize;
-        pool.post(0, p, Operation::new(q as u32, source, value, priority));
+        run.post(0, p, Operation::new(q as u32, source, value, priority));
     }
 
-    let mut worker_stats: Vec<WorkerSnapshot> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..num_workers)
-            .map(|w| {
-                let pool = &pool;
-                let seed = policy_seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                scope.spawn(move || pool.worker_loop(w, seed))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
-    });
+    let mut worker_stats: Vec<WorkerSnapshot> = match pool {
+        Some(pool) => {
+            let snapshots: Mutex<Vec<WorkerSnapshot>> = Mutex::new(Vec::with_capacity(num_workers));
+            let run_ref = &run;
+            let pool_counters = pool.counters();
+            let job = |w: usize, slot: &mut WorkerSlot| {
+                let scratch = slot.scratch_buffer::<K::Value>(config.num_buckets, pool_counters);
+                let stats = run_ref.worker_loop(w, worker_seed(policy_seed, w), scratch);
+                snapshots.lock().push(stats);
+            };
+            pool.dispatch(num_workers, &job);
+            snapshots.into_inner()
+        }
+        None => std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..num_workers)
+                .map(|w| {
+                    let run = &run;
+                    let seed = worker_seed(policy_seed, w);
+                    scope.spawn(move || {
+                        let mut scratch: PartitionBuffer<K::Value> =
+                            PartitionBuffer::new(run.engine.config().num_buckets);
+                        run.worker_loop(w, seed, &mut scratch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+        }),
+    };
     worker_stats.sort_by_key(|s| s.worker);
 
-    debug_assert_eq!(pool.in_flight.load(Ordering::SeqCst), 0, "pool quiesced with ops in flight");
+    debug_assert_eq!(run.in_flight.load(Ordering::SeqCst), 0, "run quiesced with ops in flight");
     counters.add_queries_completed(num_queries as u64);
-    let per_query: Vec<K::State> = pool.states.into_iter().map(|m| m.into_inner()).collect();
+    let RunState { mailboxes, states, queues, .. } = run;
+    if let Some(pool) = pool {
+        pool.store_run_storage(mailboxes, queues);
+    }
+    let per_query: Vec<K::State> = states.into_iter().map(|m| m.into_inner()).collect();
     let mut measurement =
         engine.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
     measurement.work.workers = worker_stats;
@@ -477,16 +559,20 @@ mod tests {
 
     #[test]
     fn parallel_run_reports_per_worker_stats() {
-        let (_, pg) = partitioned(8);
-        let result = ForkGraphEngine::new(&pg, EngineConfig::default().with_threads(3))
-            .run_bfs(&[0, 5, 9, 100]);
-        let work = result.work();
-        assert_eq!(work.workers.len(), 3);
-        let visits: u64 = work.workers.iter().map(|w| w.visits).sum();
-        assert_eq!(visits, work.partition_visits);
-        // Every posted (buffered) operation is drained by exactly one visit.
-        let ops: u64 = work.workers.iter().map(|w| w.operations).sum();
-        assert_eq!(ops, work.operations_buffered);
+        // Pinned modes (not the env default): this test *requires* parallel
+        // execution, so it must hold on the serial leg of the CI matrix too.
+        for mode in [crate::ExecutorMode::Spawn, crate::ExecutorMode::Pool] {
+            let (_, pg) = partitioned(8);
+            let config = EngineConfig::default().with_threads(3).with_executor(mode);
+            let result = ForkGraphEngine::new(&pg, config).run_bfs(&[0, 5, 9, 100]);
+            let work = result.work();
+            assert_eq!(work.workers.len(), 3, "{mode:?}");
+            let visits: u64 = work.workers.iter().map(|w| w.visits).sum();
+            assert_eq!(visits, work.partition_visits, "{mode:?}");
+            // Every posted (buffered) operation is drained by exactly one visit.
+            let ops: u64 = work.workers.iter().map(|w| w.operations).sum();
+            assert_eq!(ops, work.operations_buffered, "{mode:?}");
+        }
     }
 
     #[test]

@@ -20,8 +20,10 @@ use crate::operation::Priority;
 
 /// A fork-processing-pattern query kernel.
 pub trait FppKernel: Sync {
-    /// Payload carried by this kernel's operations.
-    type Value: Copy + Send + Sync;
+    /// Payload carried by this kernel's operations. (`'static` so per-run
+    /// executor storage for the value type can be recycled through the
+    /// type-erased arena of a persistent [`crate::pool::WorkerPool`].)
+    type Value: Copy + Send + Sync + 'static;
     /// Per-query state; the final state is the query's result.
     type State: Send;
 

@@ -23,10 +23,13 @@
 //!    ends.
 //! 5. With [`engine::EngineConfig::num_threads`] ` > 1`, the inter-partition
 //!    parallel [`executor`] processes **disjoint partitions concurrently**: a
-//!    worker pool claims runnable partitions (work-stealing when a worker's
+//!    worker crew claims runnable partitions (work-stealing when a worker's
 //!    own set drains), routes remote operations through sharded, lock-striped
 //!    mailboxes, and quiesces via an ops-in-flight counter. Serial mode stays
-//!    the default for ablation parity.
+//!    the default for ablation parity. The crew's threads come from a
+//!    persistent [`pool::WorkerPool`] by default (spawned once, parked
+//!    between runs, per-run storage recycled); per-run scoped spawning
+//!    remains available as [`engine::ExecutorMode::Spawn`].
 //!
 //! Built-in kernels cover the query types of the paper: SSSP, BFS, DFS, PPR,
 //! and random walks ([`kernels`]). Applications (BC, NCP, LL) live in the
@@ -38,12 +41,14 @@ pub mod executor;
 pub mod kernel;
 pub mod kernels;
 pub mod operation;
+pub mod pool;
 pub mod sched;
 pub mod yield_policy;
 
 pub use buffer::PartitionBuffer;
-pub use engine::{AblationLevel, EngineConfig, ForkGraphEngine, ForkGraphRunResult};
+pub use engine::{AblationLevel, EngineConfig, ExecutorMode, ForkGraphEngine, ForkGraphRunResult};
 pub use kernel::FppKernel;
 pub use operation::{Operation, Priority};
+pub use pool::WorkerPool;
 pub use sched::{SchedKey, SchedulingPolicy};
 pub use yield_policy::YieldPolicy;

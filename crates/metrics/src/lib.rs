@@ -8,10 +8,12 @@
 
 pub mod counters;
 pub mod measurement;
+pub mod pool;
 pub mod report;
 pub mod service;
 
 pub use counters::{WorkCounters, WorkSnapshot, WorkerSnapshot};
 pub use measurement::{CacheNumbers, Measurement, MemoryEstimate, Stopwatch};
+pub use pool::{PoolCounters, PoolSnapshot};
 pub use report::Table;
-pub use service::{ServiceCounters, ServiceSnapshot};
+pub use service::{BatchRecord, ServiceCounters, ServiceSnapshot};

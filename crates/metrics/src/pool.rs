@@ -1,0 +1,181 @@
+//! Lifetime counters for a persistent executor worker pool.
+//!
+//! [`crate::WorkCounters`] measure *one* engine run; a persistent worker
+//! pool (`forkgraph_core::WorkerPool`) lives across many runs, so its
+//! health is described by cross-run counters instead: how many OS threads
+//! were ever spawned (steady state must stop growing), how many runs were
+//! dispatched, how often workers parked/woke between runs, and how often the
+//! per-run allocations (partition mailboxes, per-worker scratch buffers) were
+//! recycled from the pool's arena versus rebuilt from scratch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Live counters of a persistent worker pool. All relaxed atomics: they are
+/// statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    threads_spawned: AtomicU64,
+    dispatches: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    mailboxes_reused: AtomicU64,
+    mailboxes_rebuilt: AtomicU64,
+    scratch_reused: AtomicU64,
+    scratch_rebuilt: AtomicU64,
+}
+
+impl PoolCounters {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` OS worker threads spawned (pool creation or growth).
+    #[inline]
+    pub fn add_threads_spawned(&self, n: u64) {
+        self.threads_spawned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one run dispatched onto the pool.
+    #[inline]
+    pub fn add_dispatch(&self) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one worker parking between runs.
+    #[inline]
+    pub fn add_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one worker waking up for a dispatched run.
+    #[inline]
+    pub fn add_unpark(&self) {
+        self.unparks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` partition mailboxes recycled from the pool arena.
+    #[inline]
+    pub fn add_mailboxes_reused(&self, n: u64) {
+        self.mailboxes_reused.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` partition mailboxes built fresh for a run.
+    #[inline]
+    pub fn add_mailboxes_rebuilt(&self, n: u64) {
+        self.mailboxes_rebuilt.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one per-worker scratch buffer reused across runs.
+    #[inline]
+    pub fn add_scratch_reused(&self) {
+        self.scratch_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one per-worker scratch buffer (re)built for a run.
+    #[inline]
+    pub fn add_scratch_rebuilt(&self) {
+        self.scratch_rebuilt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            mailboxes_reused: self.mailboxes_reused.load(Ordering::Relaxed),
+            mailboxes_rebuilt: self.mailboxes_rebuilt.load(Ordering::Relaxed),
+            scratch_reused: self.scratch_reused.load(Ordering::Relaxed),
+            scratch_rebuilt: self.scratch_rebuilt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of [`PoolCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    /// OS worker threads ever spawned by the pool. Flat in steady state:
+    /// repeated runs at or below the pool's capacity must not move this.
+    pub threads_spawned: u64,
+    /// Engine runs dispatched onto the pool.
+    pub dispatches: u64,
+    /// Worker park events between runs (waiting for the next dispatch).
+    pub parks: u64,
+    /// Worker wake events for a dispatched run.
+    pub unparks: u64,
+    /// Partition mailboxes recycled from the pool arena.
+    pub mailboxes_reused: u64,
+    /// Partition mailboxes built fresh (first run, value-type change, or
+    /// partition-count growth).
+    pub mailboxes_rebuilt: u64,
+    /// Per-worker scratch buffers reused across runs.
+    pub scratch_reused: u64,
+    /// Per-worker scratch buffers (re)built for a run.
+    pub scratch_rebuilt: u64,
+}
+
+impl PoolSnapshot {
+    /// Fraction of per-run mailbox allocations served from the recycle arena,
+    /// in `[0, 1]` (0 for an unused pool).
+    pub fn mailbox_reuse_rate(&self) -> f64 {
+        let total = self.mailboxes_reused + self.mailboxes_rebuilt;
+        if total == 0 {
+            0.0
+        } else {
+            self.mailboxes_reused as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = PoolCounters::new();
+        c.add_threads_spawned(4);
+        c.add_dispatch();
+        c.add_dispatch();
+        c.add_park();
+        c.add_unpark();
+        c.add_mailboxes_reused(10);
+        c.add_mailboxes_rebuilt(2);
+        c.add_scratch_reused();
+        c.add_scratch_rebuilt();
+        let s = c.snapshot();
+        assert_eq!(s.threads_spawned, 4);
+        assert_eq!(s.dispatches, 2);
+        assert_eq!(s.parks, 1);
+        assert_eq!(s.unparks, 1);
+        assert_eq!(s.mailboxes_reused, 10);
+        assert_eq!(s.mailboxes_rebuilt, 2);
+        assert_eq!(s.scratch_reused, 1);
+        assert_eq!(s.scratch_rebuilt, 1);
+        assert!((s.mailbox_reuse_rate() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_reuse_rate_is_zero() {
+        assert_eq!(PoolCounters::new().snapshot().mailbox_reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = PoolCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        c.add_dispatch();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().dispatches, 2000);
+    }
+}

@@ -20,6 +20,21 @@ use serde::{Deserialize, Serialize};
 /// overwrites pseudo-randomly (bounded-memory reservoir).
 const LATENCY_RESERVOIR: usize = 4096;
 
+/// Maximum number of per-batch sizing records retained (bounded ring).
+const BATCH_RECORD_RING: usize = 1024;
+
+/// One dispatched batch's sizing decision: how many queries the batch
+/// carried and how many engine workers the adaptive policy chose for it.
+/// Retained in a bounded ring so tests (and operators) can audit that the
+/// sizing policy was actually applied per batch, not just on average.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Queries consolidated into the batch.
+    pub batch_size: u32,
+    /// Engine worker threads chosen for the batch's run.
+    pub workers: u32,
+}
+
 /// Live counters of a running service. Shared between the submit path, the
 /// batcher thread, and observers via `Arc`.
 #[derive(Debug, Default)]
@@ -44,8 +59,13 @@ pub struct ServiceCounters {
     pub queue_depth: AtomicU64,
     /// High-water mark of the pending queue.
     pub max_queue_depth: AtomicU64,
+    /// Largest worker count any dispatched batch ran with.
+    pub max_batch_workers: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
     latency_count: AtomicU64,
+    /// Ring of recent per-batch sizing decisions (bounded).
+    batch_records: Mutex<Vec<BatchRecord>>,
+    batch_record_count: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -85,6 +105,26 @@ impl ServiceCounters {
         self.queries_batched.fetch_add(occupancy as u64, Ordering::Relaxed);
         self.max_batch_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
         self.queue_depth.store(depth_after as u64, Ordering::Relaxed);
+    }
+
+    /// Record the worker count the adaptive sizing policy chose for one
+    /// dispatched batch of `batch_size` queries.
+    pub fn on_batch_workers(&self, batch_size: usize, workers: usize) {
+        self.max_batch_workers.fetch_max(workers as u64, Ordering::Relaxed);
+        let record = BatchRecord { batch_size: batch_size as u32, workers: workers as u32 };
+        let n = self.batch_record_count.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut ring = self.batch_records.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() < BATCH_RECORD_RING {
+            ring.push(record);
+        } else {
+            ring[n % BATCH_RECORD_RING] = record;
+        }
+    }
+
+    /// The retained per-batch sizing records (bounded ring; oldest entries
+    /// are overwritten once `BATCH_RECORD_RING` batches have been seen).
+    pub fn batch_records(&self) -> Vec<BatchRecord> {
+        self.batch_records.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Record one query's end-to-end (submit → result available) latency.
@@ -127,6 +167,7 @@ impl ServiceCounters {
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             queries_batched: self.queries_batched.load(Ordering::Relaxed),
             max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
+            max_batch_workers: self.max_batch_workers.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             latency_p50: percentile(0.50),
@@ -147,6 +188,8 @@ pub struct ServiceSnapshot {
     pub batches_dispatched: u64,
     pub queries_batched: u64,
     pub max_batch_occupancy: u64,
+    /// Largest engine worker count any batch ran with (adaptive sizing).
+    pub max_batch_workers: u64,
     pub queue_depth: u64,
     pub max_queue_depth: u64,
     /// Median submit→result latency over the retained reservoir.
@@ -230,6 +273,22 @@ mod tests {
         let s = c.snapshot();
         assert!(s.latency_samples <= LATENCY_RESERVOIR as u64);
         assert!(s.latency_p99 >= s.latency_p50);
+    }
+
+    #[test]
+    fn batch_records_are_retained_and_bounded() {
+        let c = ServiceCounters::new();
+        c.on_batch_workers(2, 1);
+        c.on_batch_workers(64, 8);
+        let records = c.batch_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], BatchRecord { batch_size: 2, workers: 1 });
+        assert_eq!(records[1], BatchRecord { batch_size: 64, workers: 8 });
+        assert_eq!(c.snapshot().max_batch_workers, 8);
+        for _ in 0..2 * BATCH_RECORD_RING {
+            c.on_batch_workers(4, 2);
+        }
+        assert_eq!(c.batch_records().len(), BATCH_RECORD_RING);
     }
 
     #[test]

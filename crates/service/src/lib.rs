@@ -36,11 +36,13 @@
 //! * **Observability**: queue depth, shed count, batch occupancy, cache hit
 //!   rate, and p50/p99 latency via [`fg_metrics::ServiceSnapshot`].
 
+pub mod adaptive;
 mod lru;
 pub mod query;
 pub mod service;
 pub mod ticket;
 
+pub use adaptive::effective_workers;
 pub use query::{BatchKey, CacheKey, QueryResult, QuerySpec};
 pub use service::{ForkGraphService, ServiceConfig, ServiceError, ServiceHandle};
 pub use ticket::Ticket;

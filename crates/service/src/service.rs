@@ -21,11 +21,12 @@ use parking_lot::{Condvar, Mutex};
 
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::VertexId;
-use fg_metrics::{ServiceCounters, ServiceSnapshot};
+use fg_metrics::{BatchRecord, PoolSnapshot, ServiceCounters, ServiceSnapshot};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
-use forkgraph_core::{EngineConfig, ForkGraphEngine};
+use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine, WorkerPool};
 
+use crate::adaptive;
 use crate::lru::LruCache;
 use crate::query::{CacheKey, QueryResult, QuerySpec};
 use crate::ticket::{Slot, Ticket};
@@ -220,11 +221,22 @@ impl ServiceHandle {
 pub struct ForkGraphService {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<()>>,
+    /// The persistent engine worker pool batches are dispatched onto (absent
+    /// for serial configurations). Shared with the batcher; the last `Arc`
+    /// drop — during [`Self::shutdown`]/`Drop` — joins the pool threads, so
+    /// a shut-down service leaves no threads behind.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ForkGraphService {
     /// Start the service over `graph` with the given engine and service
     /// configurations.
+    ///
+    /// `engine_config.num_threads` is the *cap* on per-batch parallelism:
+    /// the batcher sizes each micro-batch's worker count adaptively with
+    /// [`adaptive::effective_workers`] (a 2-query batch runs serially, a
+    /// 64-query batch uses the full cap) and dispatches parallel runs onto
+    /// one persistent [`WorkerPool`] shared across all batches.
     pub fn start(
         graph: Arc<PartitionedGraph>,
         engine_config: EngineConfig,
@@ -238,12 +250,23 @@ impl ForkGraphService {
             config,
             num_vertices: graph.graph().num_vertices(),
         });
+        let max_workers = engine_config.resolved_threads();
+        let pool = (max_workers > 1
+            && graph.num_partitions() > 1
+            && engine_config.resolved_executor() == ExecutorMode::Pool)
+            .then(|| {
+                Arc::new(WorkerPool::new(forkgraph_core::pool::crew_size(
+                    max_workers,
+                    graph.num_partitions(),
+                )))
+            });
         let worker_shared = Arc::clone(&shared);
+        let worker_pool = pool.clone();
         let worker = std::thread::Builder::new()
             .name("fg-service-batcher".into())
-            .spawn(move || batcher_loop(worker_shared, graph, engine_config))
+            .spawn(move || batcher_loop(worker_shared, graph, engine_config, worker_pool))
             .expect("failed to spawn fg-service batcher thread");
-        ForkGraphService { shared, worker: Some(worker) }
+        ForkGraphService { shared, worker: Some(worker), pool }
     }
 
     /// Start with default engine and service configurations.
@@ -252,9 +275,10 @@ impl ForkGraphService {
     }
 
     /// Start with default configurations but serve batches through the
-    /// inter-partition parallel executor with `num_threads` workers
-    /// (`0` = one worker per available CPU). The batcher thread still owns
-    /// the engine; each consolidated run fans out across partitions.
+    /// inter-partition parallel executor with up to `num_threads` workers
+    /// (`0` = one worker per available CPU). `num_threads` caps the
+    /// per-batch adaptive sizing; parallel batches share one persistent
+    /// [`WorkerPool`], so steady-state serving spawns no threads.
     pub fn with_parallel_defaults(graph: Arc<PartitionedGraph>, num_threads: usize) -> Self {
         Self::start(
             graph,
@@ -273,10 +297,26 @@ impl ForkGraphService {
         self.shared.counters.snapshot()
     }
 
-    /// Stop accepting queries, flush the already-admitted backlog, and join
-    /// the batcher thread.
+    /// Lifetime metrics of the persistent engine worker pool, or `None` for
+    /// serial configurations.
+    pub fn pool_metrics(&self) -> Option<PoolSnapshot> {
+        self.pool.as_ref().map(|pool| pool.metrics())
+    }
+
+    /// Recent per-batch sizing decisions (bounded ring): how many queries
+    /// each dispatched batch carried and the worker count the adaptive
+    /// policy chose for it.
+    pub fn batch_records(&self) -> Vec<BatchRecord> {
+        self.shared.counters.batch_records()
+    }
+
+    /// Stop accepting queries, flush the already-admitted backlog, join the
+    /// batcher thread, and join the worker pool's threads.
     pub fn shutdown(mut self) {
         self.stop();
+        // Dropping the last pool Arc joins the pool threads; the batcher's
+        // clone was released when `stop` joined it.
+        self.pool.take();
     }
 
     fn stop(&mut self) {
@@ -295,8 +335,14 @@ impl Drop for ForkGraphService {
 }
 
 /// The batcher thread body.
-fn batcher_loop(shared: Arc<Shared>, graph: Arc<PartitionedGraph>, engine_config: EngineConfig) {
-    let engine = ForkGraphEngine::new(&graph, engine_config);
+fn batcher_loop(
+    shared: Arc<Shared>,
+    graph: Arc<PartitionedGraph>,
+    engine_config: EngineConfig,
+    pool: Option<Arc<WorkerPool>>,
+) {
+    let num_partitions = graph.num_partitions();
+    let max_workers = engine_config.resolved_threads();
     loop {
         let batch = {
             let mut inner = shared.inner.lock();
@@ -339,6 +385,20 @@ fn batcher_loop(shared: Arc<Shared>, graph: Arc<PartitionedGraph>, engine_config
             inner.queue = rest;
             shared.counters.on_batch(batch.len(), inner.queue.len());
             batch
+        };
+
+        // Adaptive sizing: pick the worker count for *this* batch from its
+        // size and the partition count (pure policy in `adaptive`), then
+        // build a per-batch engine — cheap (two refs + a config copy) —
+        // that dispatches onto the shared persistent pool when parallel.
+        let workers = adaptive::effective_workers(batch.len(), num_partitions, max_workers);
+        shared.counters.on_batch_workers(batch.len(), workers);
+        let batch_config = engine_config.with_threads(workers);
+        let engine = match &pool {
+            Some(pool) if workers > 1 => {
+                ForkGraphEngine::with_pool(&graph, batch_config, Arc::clone(pool))
+            }
+            _ => ForkGraphEngine::new(&graph, batch_config),
         };
 
         // One consolidated engine run for the whole cohort — this is where

@@ -39,9 +39,12 @@ fn main() {
         partitioned.num_partitions()
     );
 
+    // Up to 4 engine workers per batch; the batcher sizes each micro-batch's
+    // crew adaptively and dispatches parallel runs onto one persistent
+    // worker pool (spawned once, reused by every batch).
     let service = ForkGraphService::start(
         Arc::clone(&partitioned),
-        EngineConfig::default(),
+        EngineConfig::default().with_threads(4),
         ServiceConfig {
             batch_window: Duration::from_millis(2),
             max_batch_size: 64,
@@ -106,6 +109,7 @@ fn main() {
     let elapsed = started.elapsed();
 
     let m = service.metrics();
+    let pool = service.pool_metrics();
     service.shutdown();
 
     println!("\n=== fg-service metrics after {answered} answered queries ===");
@@ -130,4 +134,14 @@ fn main() {
     );
     println!("queue depth          : max {}", m.max_queue_depth);
     println!("latency              : p50 {:.2?}, p99 {:.2?}", m.latency_p50, m.latency_p99);
+    println!("adaptive workers     : max {} per batch", m.max_batch_workers);
+    if let Some(p) = pool {
+        println!(
+            "worker pool          : {} threads spawned, {} dispatches, \
+             {:.0}% mailbox reuse",
+            p.threads_spawned,
+            p.dispatches,
+            p.mailbox_reuse_rate() * 100.0
+        );
+    }
 }

@@ -51,7 +51,8 @@ pub mod prelude {
     pub use fg_metrics::WorkCounters;
     pub use fg_seq::dijkstra::dijkstra;
     pub use fg_service::{ForkGraphService, QueryResult, QuerySpec, ServiceConfig, ServiceError};
-    pub use forkgraph_core::engine::{EngineConfig, ForkGraphEngine};
+    pub use forkgraph_core::engine::{EngineConfig, ExecutorMode, ForkGraphEngine};
+    pub use forkgraph_core::pool::WorkerPool;
     pub use forkgraph_core::sched::SchedulingPolicy;
     pub use forkgraph_core::yield_policy::YieldPolicy;
 }
