@@ -614,6 +614,25 @@ impl<'g> ForkGraphEngine<'g> {
         VisitOutcome { query, leftover, remote }
     }
 
+    /// Run a batch of queries of a *type-erased* kernel — the entry point
+    /// used by `fg-service`'s batcher so that kernels registered at runtime
+    /// (including ones defined entirely outside this workspace) flow through
+    /// the identical execution path as the built-ins.
+    ///
+    /// This is [`Self::run`] behind one virtual call: the erasure wrapper
+    /// invokes `run` with its concrete kernel, so executor dispatch (serial
+    /// loop / spawned crew / persistent pool), scheduling, yielding, and the
+    /// pool's `TypeId`-keyed storage recycling all behave exactly as a
+    /// direct generic call would. Only the returned per-query states are
+    /// boxed ([`crate::dynkernel::ErasedState`]).
+    pub fn run_dyn(
+        &self,
+        kernel: &dyn crate::dynkernel::DynKernel,
+        sources: &[VertexId],
+    ) -> ForkGraphRunResult<crate::dynkernel::ErasedState> {
+        kernel.run_erased(self, sources)
+    }
+
     // -- Convenience runners for the built-in kernels ------------------------
 
     /// Run SSSP queries from every source; returns per-query distance arrays.

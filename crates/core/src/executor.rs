@@ -47,6 +47,14 @@
 //! partitions in flight the crew is already saturated, and per-visit thread
 //! teams would only thrash the cache the partitioning fought to keep warm.
 //!
+//! The executor is generic over the kernel ([`FppKernel`]), monomorphized
+//! per concrete kernel type — including kernels that arrive through the
+//! type-erased [`crate::dynkernel::DynKernel`] layer, whose wrapper re-enters
+//! [`ForkGraphEngine::run`] with the concrete type. A registered custom
+//! kernel therefore pays no per-operation erasure cost here, and the
+//! persistent pool's `TypeId`-keyed arena recycles its mailboxes exactly as
+//! it does for the built-ins.
+//!
 //! Result equivalence: SSSP and BFS relax monotonically to a unique fixpoint,
 //! so parallel execution is byte-identical to serial execution under every
 //! scheduling policy (property-tested in `tests/parallel_equivalence.rs`).

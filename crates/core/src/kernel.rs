@@ -13,6 +13,11 @@
 //! The engine guarantees that a query's state is only ever accessed by one
 //! thread at a time (query-centric consolidation, Section 4.2), so kernels are
 //! written as plain sequential code with no atomics.
+//!
+//! This trait is deliberately generic (unboxed `Copy` values in the hot
+//! loop); systems that need to handle *arbitrary registered* kernels behind
+//! one interface — like `fg-service`'s kernel registry — use the object-safe
+//! erasure layer in [`crate::dynkernel`] instead.
 
 use fg_graph::{CsrGraph, VertexId};
 
@@ -51,4 +56,16 @@ pub trait FppKernel: Sync {
         value: Self::Value,
         emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
     ) -> u64;
+
+    /// Relative per-query work weight, used by serving layers to size the
+    /// worker crew for a micro-batch of these queries (see
+    /// `fg_service::adaptive`). The default `1.0` means "a built-in-style
+    /// graph traversal"; kernels whose queries do markedly less
+    /// parallelizable work (e.g. tightly radius-bounded probes) can return
+    /// less than one to bias their batches toward smaller crews, and heavy
+    /// kernels can return more than one. Purely advisory — correctness never
+    /// depends on it.
+    fn batch_weight(&self) -> f64 {
+        1.0
+    }
 }

@@ -36,6 +36,7 @@
 //! `fg-apps` crate.
 
 pub mod buffer;
+pub mod dynkernel;
 pub mod engine;
 pub mod executor;
 pub mod kernel;
@@ -46,6 +47,7 @@ pub mod sched;
 pub mod yield_policy;
 
 pub use buffer::PartitionBuffer;
+pub use dynkernel::{erase, DynKernel, ErasedState};
 pub use engine::{AblationLevel, EngineConfig, ExecutorMode, ForkGraphEngine, ForkGraphRunResult};
 pub use kernel::FppKernel;
 pub use operation::{Operation, Priority};

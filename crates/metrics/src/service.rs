@@ -33,6 +33,11 @@ pub struct BatchRecord {
     pub batch_size: u32,
     /// Engine worker threads chosen for the batch's run.
     pub workers: u32,
+    /// Identity of the kernel registration the batch ran (`0` when the
+    /// serving layer predates kernel ids or did not report one). Lets
+    /// operators audit batch formation in mixed-kernel traffic: records
+    /// with different ids can never have shared a cohort.
+    pub kernel_id: u64,
 }
 
 /// Live counters of a running service. Shared between the submit path, the
@@ -108,10 +113,11 @@ impl ServiceCounters {
     }
 
     /// Record the worker count the adaptive sizing policy chose for one
-    /// dispatched batch of `batch_size` queries.
-    pub fn on_batch_workers(&self, batch_size: usize, workers: usize) {
+    /// dispatched batch of `batch_size` queries of kernel `kernel_id`.
+    pub fn on_batch_workers(&self, batch_size: usize, workers: usize, kernel_id: u64) {
         self.max_batch_workers.fetch_max(workers as u64, Ordering::Relaxed);
-        let record = BatchRecord { batch_size: batch_size as u32, workers: workers as u32 };
+        let record =
+            BatchRecord { batch_size: batch_size as u32, workers: workers as u32, kernel_id };
         let n = self.batch_record_count.fetch_add(1, Ordering::Relaxed) as usize;
         let mut ring = self.batch_records.lock().unwrap_or_else(|p| p.into_inner());
         if ring.len() < BATCH_RECORD_RING {
@@ -278,15 +284,15 @@ mod tests {
     #[test]
     fn batch_records_are_retained_and_bounded() {
         let c = ServiceCounters::new();
-        c.on_batch_workers(2, 1);
-        c.on_batch_workers(64, 8);
+        c.on_batch_workers(2, 1, 1);
+        c.on_batch_workers(64, 8, 17);
         let records = c.batch_records();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0], BatchRecord { batch_size: 2, workers: 1 });
-        assert_eq!(records[1], BatchRecord { batch_size: 64, workers: 8 });
+        assert_eq!(records[0], BatchRecord { batch_size: 2, workers: 1, kernel_id: 1 });
+        assert_eq!(records[1], BatchRecord { batch_size: 64, workers: 8, kernel_id: 17 });
         assert_eq!(c.snapshot().max_batch_workers, 8);
         for _ in 0..2 * BATCH_RECORD_RING {
-            c.on_batch_workers(4, 2);
+            c.on_batch_workers(4, 2, 1);
         }
         assert_eq!(c.batch_records().len(), BATCH_RECORD_RING);
     }

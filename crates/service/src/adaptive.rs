@@ -40,6 +40,32 @@ pub fn effective_workers(batch_size: usize, num_partitions: usize, max_workers: 
     batch_size.div_ceil(QUERIES_PER_WORKER).clamp(1, max_workers.min(num_partitions))
 }
 
+/// Kernel-weighted [`effective_workers`]: the registry era's sizing entry
+/// point.
+///
+/// `weight` is the cohort kernel's declared relative per-query work
+/// ([`forkgraph_core::FppKernel::batch_weight`], surfaced through
+/// [`forkgraph_core::DynKernel::batch_weight`]); it scales the batch size
+/// the base policy sees. A radius-bounded probe kernel with weight `0.5`
+/// needs twice the queries to justify the same crew; a heavy kernel with
+/// weight `2.0` reaches the cap at half the batch size. Non-finite or
+/// non-positive weights are treated as `1.0` (a registered kernel must
+/// never be able to break sizing), and the result obeys exactly the caps of
+/// the unweighted policy.
+pub fn effective_workers_weighted(
+    batch_size: usize,
+    num_partitions: usize,
+    max_workers: usize,
+    weight: f64,
+) -> usize {
+    let weight = if weight.is_finite() && weight > 0.0 { weight } else { 1.0 };
+    // Ceil keeps any non-empty batch non-empty, so the degenerate-case
+    // handling stays entirely in the base policy.
+    let weighted = ((batch_size as f64) * weight).ceil();
+    let weighted = if weighted >= usize::MAX as f64 { usize::MAX } else { weighted as usize };
+    effective_workers(weighted.max(usize::from(batch_size > 0)), num_partitions, max_workers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +100,36 @@ mod tests {
         assert_eq!(effective_workers(64, 24, 1), 1);
         assert_eq!(effective_workers(64, 24, 0), 1);
         assert_eq!(effective_workers(0, 24, 8), 1);
+    }
+
+    #[test]
+    fn weighted_sizing_scales_the_offered_load() {
+        // Weight 1 is exactly the base policy.
+        for batch in 0..100 {
+            assert_eq!(
+                effective_workers_weighted(batch, 24, 8, 1.0),
+                effective_workers(batch, 24, 8)
+            );
+        }
+        // A half-weight kernel needs twice the batch for the same crew…
+        assert_eq!(effective_workers_weighted(8, 24, 8, 0.5), effective_workers(4, 24, 8));
+        // …and a double-weight kernel reaches the cap at half the batch.
+        assert_eq!(effective_workers_weighted(4, 24, 8, 2.0), effective_workers(8, 24, 8));
+    }
+
+    #[test]
+    fn pathological_weights_fall_back_to_unweighted() {
+        for weight in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                effective_workers_weighted(6, 24, 8, weight),
+                effective_workers(6, 24, 8),
+                "weight {weight}"
+            );
+        }
+        // Huge-but-finite weights saturate at the caps instead of wrapping.
+        assert_eq!(effective_workers_weighted(6, 24, 8, 1e300), 8);
+        // An empty batch stays serial regardless of weight.
+        assert_eq!(effective_workers_weighted(0, 24, 8, 100.0), 1);
     }
 
     /// Property sweep: the policy never exceeds any cap, never returns 0,

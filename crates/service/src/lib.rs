@@ -1,6 +1,7 @@
 //! # fg-service
 //!
-//! An always-on, concurrent query-serving layer over the ForkGraph engine.
+//! An always-on, concurrent query-serving layer over the ForkGraph engine,
+//! built around an **open kernel registry**.
 //!
 //! The engine (`forkgraph-core`) gets its cache efficiency from processing
 //! *batches* of forked queries together, but its API is one-shot and
@@ -10,39 +11,61 @@
 //! [`PartitionedGraph`](fg_graph::partitioned::PartitionedGraph).
 //!
 //! ```text
-//!  clients ──submit──▶ [admission control] ──▶ pending queue ─┐
-//!     ▲                      │ shed when full                 │ batch window /
-//!     │ cache hit            ▼                                │ size budget
-//!     └─────────────── [LRU result cache]                     ▼
-//!                            ▲                        [micro-batcher thread]
-//!                            │ insert                         │ one ForkGraphEngine::run
-//!                            └────────── demux ◀──────────────┘ per BatchKey cohort
+//!  clients ──submit──▶ [registry resolve] ─▶ [admission] ─▶ pending queue ─┐
+//!     ▲                      │ typed errors     │ shed when full           │ batch window /
+//!     │ cache hit            ▼                  ▼                          │ size budget
+//!     └─────────────── [LRU result cache]                                  ▼
+//!                            ▲                                  [micro-batcher thread]
+//!                            │ insert                                      │ one run_dyn
+//!                            └───────────── demux ◀────────────────────────┘ per BatchKey cohort
 //! ```
 //!
-//! * **Submission** ([`ServiceHandle::submit`]): clients submit typed
-//!   [`QuerySpec`]s (SSSP / BFS / PPR / random walks) and receive a
-//!   [`Ticket`] they can block on or poll.
+//! * **Open kernels**: a query names a kernel *registered* in the service's
+//!   [`KernelRegistry`] — the four built-ins (`"sssp"`, `"bfs"`, `"ppr"`,
+//!   `"random_walk"`) are pre-registered, and any
+//!   [`FppKernel`](forkgraph_core::FppKernel) defined anywhere (including
+//!   outside this workspace) becomes servable with one
+//!   [`KernelRegistry::register`] call. Batching, admission control, pool
+//!   dispatch, and caching all work unchanged for kernels this crate has
+//!   never heard of, because dispatch is type-erased
+//!   ([`forkgraph_core::DynKernel`]).
+//! * **Submission** ([`ServiceHandle::submit_query`]): clients build a
+//!   [`Query`] (`Query::kernel("ppr").source(v).param("epsilon", 1e-5)`)
+//!   and receive a [`Ticket`] they can block on, poll, or re-type with
+//!   [`Ticket::typed`] for a downcast-checked concrete result. The legacy
+//!   closed-enum API ([`QuerySpec`], [`ServiceHandle::submit`]) remains as
+//!   a thin shim with byte-identical results.
 //! * **Micro-batching**: a dedicated batcher thread accumulates submissions
 //!   for [`ServiceConfig::batch_window`] (or until
-//!   [`ServiceConfig::max_batch_size`]), then dispatches each same-key cohort
-//!   as one consolidated `ForkGraphEngine::run`, demultiplexing per-source
-//!   results back to submitters via
-//!   [`ForkGraphRunResult::into_per_source`](forkgraph_core::ForkGraphRunResult::into_per_source).
+//!   [`ServiceConfig::max_batch_size`]), then dispatches each same-key
+//!   cohort as one consolidated
+//!   [`ForkGraphEngine::run_dyn`](forkgraph_core::ForkGraphEngine::run_dyn),
+//!   demultiplexing per-source results back to submitters. Cohorts and
+//!   cache entries are keyed by [`BatchKey`]/[`CacheKey`], derived from the
+//!   *registration* (unique [`KernelId`] + canonical [`QueryParams`]), so
+//!   same-named or re-registered kernels can never alias.
 //! * **Admission control**: the pending queue is bounded
 //!   ([`ServiceConfig::max_queue_depth`]); a saturated service sheds load
 //!   with [`ServiceError::Saturated`] instead of blocking submitters.
-//! * **Result caching**: an LRU cache keyed by (kernel, config, source)
-//!   short-circuits repeated hot queries.
+//! * **Result caching**: an LRU cache keyed by (registration, canonical
+//!   params, source) short-circuits repeated hot queries.
 //! * **Observability**: queue depth, shed count, batch occupancy, cache hit
-//!   rate, and p50/p99 latency via [`fg_metrics::ServiceSnapshot`].
+//!   rate, per-batch kernel/worker records, and p50/p99 latency via
+//!   [`fg_metrics::ServiceSnapshot`].
 
 pub mod adaptive;
 mod lru;
+pub mod params;
 pub mod query;
+pub mod registry;
 pub mod service;
 pub mod ticket;
 
-pub use adaptive::effective_workers;
-pub use query::{BatchKey, CacheKey, QueryResult, QuerySpec};
+pub use adaptive::{effective_workers, effective_workers_weighted};
+pub use params::{ParamError, ParamValue, QueryParams};
+pub use query::{BatchKey, CacheKey, KernelMismatch, Query, QueryResult, QuerySpec};
+pub use registry::{
+    InstantiatedKernel, KernelFactory, KernelId, KernelRegistry, RegistryError, ResolvedKernel,
+};
 pub use service::{ForkGraphService, ServiceConfig, ServiceError, ServiceHandle};
 pub use ticket::Ticket;

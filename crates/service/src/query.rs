@@ -1,29 +1,332 @@
-//! Typed query submissions and results.
+//! Queries and results of the open-kernel serving API.
 //!
-//! A [`QuerySpec`] is one client query — a kernel plus its source vertex and
-//! (for parameterised kernels) its configuration. Specs that share a
-//! [`BatchKey`] are semantically batchable: they run the same kernel with the
-//! same configuration, so the micro-batcher may consolidate them into a single
-//! `ForkGraphEngine::run` over their combined source list.
+//! A [`Query`] names a *registered* kernel, a source vertex, and a set of
+//! typed parameters:
+//!
+//! ```
+//! use fg_service::Query;
+//!
+//! let q = Query::kernel("ppr").source(42).param("epsilon", 1e-5);
+//! assert_eq!(q.kernel_name(), "ppr");
+//! ```
+//!
+//! Resolution against the service's [`KernelRegistry`](crate::KernelRegistry)
+//! happens at submit time and yields the two registry-derived keys:
+//!
+//! * [`BatchKey`] — registration id + canonical params. Queries with equal
+//!   keys run the same kernel with identical configuration, so the
+//!   micro-batcher may consolidate them into one engine run. Because the id
+//!   is minted per registration, kernels with colliding *names* (e.g. a
+//!   re-registered `"ppr"`) can never share a cohort.
+//! * [`CacheKey`] — batch key + source: one exact query, the LRU cache's
+//!   key.
+//!
+//! A completed query yields a [`QueryResult`]: the kernel's final state,
+//! type-erased. Downcast it with the generic accessors
+//! ([`QueryResult::downcast_ref`], [`QueryResult::try_state`]) or, for the
+//! built-ins, the named accessors — `as_*` returning `Option` and the
+//! `try_*`/`try_into_*` family returning a [`KernelMismatch`] that names the
+//! kernel that actually produced the result.
+//!
+//! The pre-registry enum API ([`QuerySpec`]) is kept as a thin shim: it
+//! converts to a [`Query`] at submit time and produces byte-identical
+//! results through the registry path.
 
-use std::hash::Hash;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
 
 use fg_graph::{Dist, VertexId};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
 use forkgraph_core::kernels::{PprState, RwState};
+use forkgraph_core::ErasedState;
 
-/// One client query: kernel, source, and kernel configuration.
+use crate::params::{ParamValue, QueryParams};
+use crate::registry::{self, KernelId};
+
+/// One client query for the open-kernel API; see the [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    kernel: String,
+    source: Option<VertexId>,
+    params: QueryParams,
+}
+
+impl Query {
+    /// Start building a query for the kernel registered under `name`.
+    pub fn kernel(name: impl Into<String>) -> Self {
+        Query { kernel: name.into(), source: None, params: QueryParams::new() }
+    }
+
+    /// Set the source vertex the query forks from. Required before submit.
+    pub fn source(mut self, source: VertexId) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Set one kernel parameter. Unknown parameter names are rejected by the
+    /// kernel's factory at submit time.
+    pub fn param(mut self, name: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.set(name, value);
+        self
+    }
+
+    /// The kernel name this query will resolve.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel
+    }
+
+    /// The source vertex, if one has been set.
+    pub fn source_vertex(&self) -> Option<VertexId> {
+        self.source
+    }
+
+    /// The parameters accumulated so far (pre-canonicalization).
+    pub fn params(&self) -> &QueryParams {
+        &self.params
+    }
+}
+
+/// Equality/hash key for batch formation: registration id + canonical
+/// params. Derived by the registry at submit time; see the
+/// [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// The kernel registration this cohort runs.
+    pub kernel: KernelId,
+    /// Canonical (factory-normalised) parameters of the cohort.
+    pub params: QueryParams,
+}
+
+/// Key of the result cache: one exact query (batch key + source).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The batchability key.
+    pub key: BatchKey,
+    /// The query's source vertex.
+    pub source: VertexId,
+}
+
+/// A typed "this result belongs to a different kernel" error, returned by
+/// the checked accessors of [`QueryResult`] and by typed
+/// [`Ticket`](crate::Ticket) waits. Unlike the old `Option`-returning
+/// accessors, it names the kernel that actually produced the result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelMismatch {
+    /// The state type the caller asked for.
+    pub expected: &'static str,
+    /// Name of the kernel that actually produced the result.
+    pub kernel: String,
+    /// The result's actual state type.
+    pub actual: &'static str,
+}
+
+impl fmt::Display for KernelMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "result was produced by kernel {:?} (state type {}), not by a kernel producing {}",
+            self.kernel, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for KernelMismatch {}
+
+/// A completed query's result: the kernel's final per-query state, type-
+/// erased and cheaply shareable (cache hits and concurrent waiters all see
+/// the same allocation).
+#[derive(Clone)]
+pub struct QueryResult {
+    kernel_id: KernelId,
+    kernel: Arc<str>,
+    /// Human-readable name of the concrete state type behind `state`.
+    state_type: &'static str,
+    state: ErasedState,
+}
+
+impl QueryResult {
+    /// Wrap one erased engine state as a result of `kernel`.
+    pub(crate) fn new(
+        kernel_id: KernelId,
+        kernel: Arc<str>,
+        state_type: &'static str,
+        state: ErasedState,
+    ) -> Self {
+        QueryResult { kernel_id, kernel, state_type, state }
+    }
+
+    /// Build a result from a concrete state value (primarily for tests and
+    /// for code paths that synthesise results outside the engine).
+    pub fn from_state<S: Any + Send + Sync>(
+        kernel_id: KernelId,
+        kernel: impl Into<Arc<str>>,
+        state: S,
+    ) -> Self {
+        QueryResult {
+            kernel_id,
+            kernel: kernel.into(),
+            state_type: std::any::type_name::<S>(),
+            state: Arc::new(state),
+        }
+    }
+
+    /// Name of the kernel registration that produced this result.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel
+    }
+
+    /// Identity of the kernel registration that produced this result.
+    pub fn kernel_id(&self) -> KernelId {
+        self.kernel_id
+    }
+
+    /// The type-erased state (shared with every other holder of this
+    /// result).
+    pub fn state(&self) -> &ErasedState {
+        &self.state
+    }
+
+    /// Borrow the state as `S`, or `None` if this result's kernel produces a
+    /// different state type.
+    pub fn downcast_ref<S: Any>(&self) -> Option<&S> {
+        self.state.downcast_ref::<S>()
+    }
+
+    /// Borrow the state as `S`, with a [`KernelMismatch`] naming the actual
+    /// kernel on type mismatch.
+    pub fn try_state<S: Any>(&self) -> Result<&S, KernelMismatch> {
+        self.downcast_ref::<S>().ok_or_else(|| self.mismatch::<S>())
+    }
+
+    /// Take shared ownership of the state as `Arc<S>`, with a
+    /// [`KernelMismatch`] naming the actual kernel on type mismatch.
+    pub fn try_into_state<S: Any + Send + Sync>(self) -> Result<Arc<S>, KernelMismatch> {
+        if self.downcast_ref::<S>().is_none() {
+            return Err(self.mismatch::<S>());
+        }
+        Ok(Arc::downcast(self.state).expect("checked by downcast_ref above"))
+    }
+
+    fn mismatch<S: Any>(&self) -> KernelMismatch {
+        KernelMismatch {
+            expected: std::any::type_name::<S>(),
+            kernel: self.kernel.to_string(),
+            actual: self.state_type,
+        }
+    }
+
+    // -- Built-in accessors (legacy shims + checked variants) ----------------
+
+    /// Distances from the source, if this is an SSSP result. Prefer
+    /// [`Self::try_sssp`], which reports *what* the result actually is
+    /// instead of silently returning `None`.
+    pub fn as_sssp(&self) -> Option<&Vec<Dist>> {
+        self.downcast_ref()
+    }
+
+    /// BFS levels from the source, if this is a BFS result. Prefer
+    /// [`Self::try_bfs`].
+    pub fn as_bfs(&self) -> Option<&Vec<u32>> {
+        self.downcast_ref()
+    }
+
+    /// Final PPR state, if this is a PPR result. Prefer [`Self::try_ppr`].
+    pub fn as_ppr(&self) -> Option<&PprState> {
+        self.downcast_ref()
+    }
+
+    /// Final random-walk state, if this is a random-walk result. Prefer
+    /// [`Self::try_random_walk`].
+    pub fn as_random_walk(&self) -> Option<&RwState> {
+        self.downcast_ref()
+    }
+
+    /// Distances from the source, or a [`KernelMismatch`] naming the kernel
+    /// that actually produced this result.
+    pub fn try_sssp(&self) -> Result<&Vec<Dist>, KernelMismatch> {
+        self.try_state()
+    }
+
+    /// BFS levels, or a [`KernelMismatch`] naming the actual kernel.
+    pub fn try_bfs(&self) -> Result<&Vec<u32>, KernelMismatch> {
+        self.try_state()
+    }
+
+    /// Final PPR state, or a [`KernelMismatch`] naming the actual kernel.
+    pub fn try_ppr(&self) -> Result<&PprState, KernelMismatch> {
+        self.try_state()
+    }
+
+    /// Final random-walk state, or a [`KernelMismatch`] naming the actual
+    /// kernel.
+    pub fn try_random_walk(&self) -> Result<&RwState, KernelMismatch> {
+        self.try_state()
+    }
+
+    /// Consume into shared SSSP distances, or a [`KernelMismatch`].
+    pub fn try_into_sssp(self) -> Result<Arc<Vec<Dist>>, KernelMismatch> {
+        self.try_into_state()
+    }
+
+    /// Consume into shared BFS levels, or a [`KernelMismatch`].
+    pub fn try_into_bfs(self) -> Result<Arc<Vec<u32>>, KernelMismatch> {
+        self.try_into_state()
+    }
+
+    /// Consume into a shared PPR state, or a [`KernelMismatch`].
+    pub fn try_into_ppr(self) -> Result<Arc<PprState>, KernelMismatch> {
+        self.try_into_state()
+    }
+
+    /// Consume into a shared random-walk state, or a [`KernelMismatch`].
+    pub fn try_into_random_walk(self) -> Result<Arc<RwState>, KernelMismatch> {
+        self.try_into_state()
+    }
+}
+
+impl fmt::Debug for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryResult")
+            .field("kernel", &self.kernel)
+            .field("kernel_id", &self.kernel_id)
+            .field("state_type", &self.state_type)
+            .finish()
+    }
+}
+
+/// The pre-registry query API: a closed enum over the four built-in
+/// kernels. Kept as a thin shim — [`Self::to_query`] converts to the open
+/// [`Query`] form and submissions flow through the registry, producing
+/// byte-identical results. Prefer [`Query`] for new code: it covers every
+/// registered kernel, not just these four.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum QuerySpec {
     /// Single-source shortest paths from `source`.
-    Sssp { source: VertexId },
+    Sssp {
+        /// The source vertex.
+        source: VertexId,
+    },
     /// Breadth-first search levels from `source`.
-    Bfs { source: VertexId },
+    Bfs {
+        /// The source vertex.
+        source: VertexId,
+    },
     /// Personalized PageRank seeded at `seed`.
-    Ppr { seed: VertexId, config: PprConfig },
+    Ppr {
+        /// The seed vertex.
+        seed: VertexId,
+        /// Push-computation parameters.
+        config: PprConfig,
+    },
     /// A batch of bounded random walks from `source`.
-    RandomWalk { source: VertexId, config: RandomWalkConfig },
+    RandomWalk {
+        /// The source vertex.
+        source: VertexId,
+        /// Walk parameters.
+        config: RandomWalkConfig,
+    },
 }
 
 impl QuerySpec {
@@ -37,27 +340,49 @@ impl QuerySpec {
         }
     }
 
+    /// The open-API form of this spec: the registered built-in kernel name
+    /// plus the config rendered as canonical parameters.
+    pub fn to_query(&self) -> Query {
+        match *self {
+            QuerySpec::Sssp { source } => Query::kernel("sssp").source(source),
+            QuerySpec::Bfs { source } => Query::kernel("bfs").source(source),
+            QuerySpec::Ppr { seed, config } => Query {
+                kernel: "ppr".to_string(),
+                source: Some(seed),
+                params: registry::ppr_params(&config),
+            },
+            QuerySpec::RandomWalk { source, config } => Query {
+                kernel: "random_walk".to_string(),
+                source: Some(source),
+                params: registry::random_walk_params(&config),
+            },
+        }
+    }
+
     /// Batching key: queries with equal keys may share one engine run.
     ///
-    /// Float parameters are keyed by their bit patterns — exact-equality
+    /// Registry-derived (the *built-in* registration ids + canonical
+    /// params), so against a registry whose built-in names are unshadowed —
+    /// every [`KernelRegistry::with_builtins`](crate::KernelRegistry)
+    /// registry, i.e. any service not using
+    /// `register_kernel_replacing("sssp", …)` — a spec and the equivalent
+    /// [`Query`] produce the *same* key and the two APIs batch and cache
+    /// together. (A service that *has* shadowed a built-in name keys live
+    /// submissions by the replacement's id; this standalone method keeps
+    /// returning the built-in id, since it has no registry to consult.)
+    /// Float parameters are keyed by their bit patterns: exact-equality
     /// grouping, which is what batchability requires (two PPR queries with
     /// different epsilons must not share a run).
     pub fn batch_key(&self) -> BatchKey {
-        match *self {
-            QuerySpec::Sssp { .. } => BatchKey::Sssp,
-            QuerySpec::Bfs { .. } => BatchKey::Bfs,
-            QuerySpec::Ppr { config, .. } => BatchKey::Ppr {
-                alpha_bits: config.alpha.to_bits(),
-                epsilon_bits: config.epsilon.to_bits(),
-                max_pushes: config.max_pushes,
-            },
-            QuerySpec::RandomWalk { config, .. } => BatchKey::RandomWalk {
-                num_walks: config.num_walks,
-                walk_length: config.walk_length,
-                restart_bits: config.restart_prob.to_bits(),
-                seed: config.seed,
-            },
-        }
+        let (kernel, params) = match *self {
+            QuerySpec::Sssp { .. } => (KernelId::SSSP, QueryParams::new()),
+            QuerySpec::Bfs { .. } => (KernelId::BFS, QueryParams::new()),
+            QuerySpec::Ppr { config, .. } => (KernelId::PPR, registry::ppr_params(&config)),
+            QuerySpec::RandomWalk { config, .. } => {
+                (KernelId::RANDOM_WALK, registry::random_walk_params(&config))
+            }
+        };
+        BatchKey { kernel, params }
     }
 
     /// Cache key identifying this exact query: batch key plus source.
@@ -72,66 +397,6 @@ impl QuerySpec {
             QuerySpec::Bfs { .. } => "bfs",
             QuerySpec::Ppr { .. } => "ppr",
             QuerySpec::RandomWalk { .. } => "random_walk",
-        }
-    }
-}
-
-/// Equality/hash key for batch formation. Two specs with the same key run the
-/// same kernel with identical parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum BatchKey {
-    Sssp,
-    Bfs,
-    Ppr { alpha_bits: u64, epsilon_bits: u64, max_pushes: u64 },
-    RandomWalk { num_walks: usize, walk_length: usize, restart_bits: u64, seed: u64 },
-}
-
-/// Key of the result cache: one exact query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    pub key: BatchKey,
-    pub source: VertexId,
-}
-
-/// A completed query's result, one variant per kernel.
-#[derive(Clone, Debug, PartialEq)]
-pub enum QueryResult {
-    /// Distances from the source (index = vertex id).
-    Sssp(Vec<Dist>),
-    /// BFS levels from the source (index = vertex id).
-    Bfs(Vec<u32>),
-    /// Final PPR state (dense estimate + residual vectors).
-    Ppr(PprState),
-    /// Final random-walk state (visit counts).
-    RandomWalk(RwState),
-}
-
-impl QueryResult {
-    pub fn as_sssp(&self) -> Option<&Vec<Dist>> {
-        match self {
-            QueryResult::Sssp(d) => Some(d),
-            _ => None,
-        }
-    }
-
-    pub fn as_bfs(&self) -> Option<&Vec<u32>> {
-        match self {
-            QueryResult::Bfs(l) => Some(l),
-            _ => None,
-        }
-    }
-
-    pub fn as_ppr(&self) -> Option<&PprState> {
-        match self {
-            QueryResult::Ppr(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_random_walk(&self) -> Option<&RwState> {
-        match self {
-            QueryResult::RandomWalk(s) => Some(s),
-            _ => None,
         }
     }
 }
@@ -186,5 +451,49 @@ mod tests {
             QuerySpec::RandomWalk { source: 10, config: RandomWalkConfig::default() }.source(),
             10
         );
+    }
+
+    #[test]
+    fn spec_and_builder_query_share_keys() {
+        // The legacy enum and the open builder API must batch and cache
+        // together when they mean the same query.
+        let registry = crate::KernelRegistry::with_builtins();
+        let spec = QuerySpec::Ppr { seed: 5, config: PprConfig::default() };
+        let query = Query::kernel("ppr").source(5);
+        let resolved = registry.resolve(query.kernel_name(), query.params()).unwrap();
+        let builder_key = BatchKey { kernel: resolved.id, params: resolved.params };
+        assert_eq!(spec.batch_key(), builder_key);
+
+        // And an explicitly-specified default parameter canonicalizes to the
+        // same key as an omitted one.
+        let explicit = Query::kernel("ppr").source(5).param("alpha", PprConfig::default().alpha);
+        let resolved = registry.resolve(explicit.kernel_name(), explicit.params()).unwrap();
+        assert_eq!(spec.batch_key(), BatchKey { kernel: resolved.id, params: resolved.params });
+    }
+
+    #[test]
+    fn query_builder_accumulates_source_and_params() {
+        let q = Query::kernel("khop").source(3).param("k", 4u64).param("weighted", true);
+        assert_eq!(q.kernel_name(), "khop");
+        assert_eq!(q.source_vertex(), Some(3));
+        assert_eq!(q.params().get("k"), Some(&ParamValue::U64(4)));
+        assert_eq!(q.params().get("weighted"), Some(&ParamValue::Bool(true)));
+        assert_eq!(Query::kernel("khop").source_vertex(), None);
+    }
+
+    #[test]
+    fn result_accessors_downcast_and_name_the_kernel_on_mismatch() {
+        let result = QueryResult::from_state(KernelId::SSSP, "sssp", vec![0 as Dist, 7, 3]);
+        assert_eq!(result.kernel_name(), "sssp");
+        assert_eq!(result.as_sssp().unwrap(), &vec![0 as Dist, 7, 3]);
+        assert!(result.as_bfs().is_none(), "old-style accessor: silent None");
+        let err = result.try_bfs().unwrap_err();
+        assert_eq!(err.kernel, "sssp");
+        assert!(err.actual.contains("Vec"), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("sssp"), "error names the actual kernel: {rendered}");
+        let dist = result.clone().try_into_sssp().unwrap();
+        assert_eq!(dist[1], 7);
+        assert!(result.try_into_bfs().is_err());
     }
 }

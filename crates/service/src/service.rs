@@ -4,12 +4,19 @@
 //! repeatedly: waits for pending submissions, lets a batch accumulate for the
 //! configured window (or until the batch-size cap), drains the oldest
 //! submission's [`crate::query::BatchKey`] cohort from the queue, runs it as
-//! a single
-//! consolidated engine run, and demultiplexes the per-source results back to
-//! the submitters' tickets. The submit path is admission-controlled by a
-//! bounded queue — when full, `submit` fails fast with
-//! [`ServiceError::Saturated`] instead of blocking — and fronted by an LRU
-//! result cache so repeated hot queries never reach the engine.
+//! a single consolidated **type-erased** engine run
+//! ([`ForkGraphEngine::run_dyn`]), and demultiplexes the per-source results
+//! back to the submitters' tickets. Because dispatch is erased, the batcher
+//! is kernel-agnostic: a kernel registered five minutes ago flows through
+//! micro-batching, the persistent worker pool, and the result cache exactly
+//! like the built-ins.
+//!
+//! The submit path resolves each query against the service's
+//! [`KernelRegistry`] (typed errors for unknown kernels and bad
+//! parameters), is admission-controlled by a bounded queue — when full,
+//! `submit` fails fast with [`ServiceError::Saturated`] instead of blocking
+//! — and fronted by an LRU result cache so repeated hot queries never reach
+//! the engine.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -28,7 +35,8 @@ use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine, WorkerPool};
 
 use crate::adaptive;
 use crate::lru::LruCache;
-use crate::query::{CacheKey, QueryResult, QuerySpec};
+use crate::query::{BatchKey, CacheKey, KernelMismatch, Query, QueryResult, QuerySpec};
+use crate::registry::{KernelFactory, KernelId, KernelRegistry, RegistryError, ResolvedKernel};
 use crate::ticket::{Slot, Ticket};
 
 /// Tuning knobs of the serving layer.
@@ -80,6 +88,26 @@ pub enum ServiceError {
         /// Number of vertices in the served graph.
         num_vertices: usize,
     },
+    /// The query was built without [`Query::source`].
+    MissingSource {
+        /// The kernel the query named.
+        kernel: String,
+    },
+    /// No kernel is registered under the query's name.
+    UnknownKernel {
+        /// The name the query asked for.
+        name: String,
+    },
+    /// The named kernel's factory rejected the query's parameters.
+    InvalidParams {
+        /// The kernel whose factory rejected them.
+        kernel: String,
+        /// The factory's reason (names the offending parameter).
+        reason: String,
+    },
+    /// A typed [`Ticket`] asked for a state type this result's kernel does
+    /// not produce.
+    ResultMismatch(KernelMismatch),
     /// The engine panicked while running this query's batch. The batcher
     /// survives and keeps serving subsequent batches.
     EngineFailure,
@@ -95,6 +123,16 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidSource { source, num_vertices } => {
                 write!(f, "source vertex {source} out of range (graph has {num_vertices} vertices)")
             }
+            ServiceError::MissingSource { kernel } => {
+                write!(f, "query for kernel {kernel:?} has no source vertex (call .source(v))")
+            }
+            ServiceError::UnknownKernel { name } => {
+                write!(f, "no kernel registered under {name:?}")
+            }
+            ServiceError::InvalidParams { kernel, reason } => {
+                write!(f, "invalid parameters for kernel {kernel:?}: {reason}")
+            }
+            ServiceError::ResultMismatch(mismatch) => mismatch.fmt(f),
             ServiceError::EngineFailure => write!(f, "engine failed while executing the batch"),
         }
     }
@@ -102,8 +140,30 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+impl From<KernelMismatch> for ServiceError {
+    fn from(mismatch: KernelMismatch) -> Self {
+        ServiceError::ResultMismatch(mismatch)
+    }
+}
+
+impl From<RegistryError> for ServiceError {
+    fn from(error: RegistryError) -> Self {
+        match error {
+            RegistryError::UnknownKernel { name } => ServiceError::UnknownKernel { name },
+            RegistryError::InvalidParams { kernel, reason } => {
+                ServiceError::InvalidParams { kernel, reason }
+            }
+            // Registration-time-only error; mapped defensively.
+            RegistryError::DuplicateName { name } => ServiceError::UnknownKernel { name },
+        }
+    }
+}
+
+/// One admitted query, resolved and keyed, waiting in the pending queue.
 struct Pending {
-    spec: QuerySpec,
+    resolved: ResolvedKernel,
+    source: VertexId,
+    batch_key: BatchKey,
     slot: Arc<Slot>,
     submitted_at: Instant,
 }
@@ -119,6 +179,7 @@ struct Shared {
     work_ready: Condvar,
     counters: Arc<ServiceCounters>,
     cache: Mutex<LruCache<CacheKey, Arc<QueryResult>>>,
+    registry: Arc<KernelRegistry>,
     config: ServiceConfig,
     /// Vertex count of the served graph, for submit-time source validation.
     num_vertices: usize,
@@ -131,22 +192,32 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    /// Submit a query. Returns a [`Ticket`] the caller can block on, or a
-    /// typed error when the service is saturated or shutting down. Never
-    /// blocks beyond two short critical sections.
-    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, ServiceError> {
+    /// Submit an open-API [`Query`]. Returns a [`Ticket`] the caller can
+    /// block on (or re-type with [`Ticket::typed`]), or a typed error when
+    /// the kernel is unknown, its parameters are invalid, the source is out
+    /// of range, or the service is saturated / shutting down. Never blocks
+    /// beyond two short critical sections.
+    pub fn submit_query(&self, query: Query) -> Result<Ticket, ServiceError> {
         let shared = &*self.shared;
 
+        let source = query
+            .source_vertex()
+            .ok_or_else(|| ServiceError::MissingSource { kernel: query.kernel_name().into() })?;
         // Validate before anything else: an out-of-range source must never
         // reach the engine (it would panic the batcher thread).
-        let source = spec.source();
         if source as usize >= shared.num_vertices {
             return Err(ServiceError::InvalidSource { source, num_vertices: shared.num_vertices });
         }
 
+        // Resolve name → registration → instantiated kernel + canonical
+        // params. Unknown names and bad params fail here, synchronously.
+        let resolved = shared.registry.resolve(query.kernel_name(), query.params())?;
+        let batch_key = BatchKey { kernel: resolved.id, params: resolved.params.clone() };
+
         // Fast path: answer repeated hot queries from the LRU cache.
         if shared.config.cache_capacity > 0 {
-            let hit = shared.cache.lock().get(&spec.cache_key()).cloned();
+            let cache_key = CacheKey { key: batch_key.clone(), source };
+            let hit = shared.cache.lock().get(&cache_key).cloned();
             if let Some(result) = hit {
                 shared.counters.on_cache_hit();
                 shared.counters.record_latency(Duration::ZERO);
@@ -170,7 +241,9 @@ impl ServiceHandle {
         shared.counters.on_admit(depth + 1);
         let slot = Slot::new();
         inner.queue.push_back(Pending {
-            spec,
+            resolved,
+            source,
+            batch_key,
             slot: Arc::clone(&slot),
             submitted_at: Instant::now(),
         });
@@ -179,19 +252,30 @@ impl ServiceHandle {
         Ok(Ticket::new(slot))
     }
 
-    /// Submit-and-wait convenience wrapper.
+    /// Submit a legacy enum [`QuerySpec`] (thin shim over
+    /// [`Self::submit_query`]; results are byte-identical).
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, ServiceError> {
+        self.submit_query(spec.to_query())
+    }
+
+    /// Submit-and-wait convenience wrapper for the open API.
+    pub fn run_query(&self, query: Query) -> Result<Arc<QueryResult>, ServiceError> {
+        self.submit_query(query)?.wait()
+    }
+
+    /// Submit-and-wait convenience wrapper for the legacy enum API.
     pub fn query(&self, spec: QuerySpec) -> Result<Arc<QueryResult>, ServiceError> {
         self.submit(spec)?.wait()
     }
 
     /// Submit an SSSP query from `source`.
     pub fn submit_sssp(&self, source: VertexId) -> Result<Ticket, ServiceError> {
-        self.submit(QuerySpec::Sssp { source })
+        self.submit_query(Query::kernel("sssp").source(source))
     }
 
     /// Submit a BFS query from `source`.
     pub fn submit_bfs(&self, source: VertexId) -> Result<Ticket, ServiceError> {
-        self.submit(QuerySpec::Bfs { source })
+        self.submit_query(Query::kernel("bfs").source(source))
     }
 
     /// Submit a PPR query seeded at `seed`.
@@ -206,6 +290,49 @@ impl ServiceHandle {
         config: RandomWalkConfig,
     ) -> Result<Ticket, ServiceError> {
         self.submit(QuerySpec::RandomWalk { source, config })
+    }
+
+    /// The kernel registry queries are resolved against. Register custom
+    /// kernels here (or with the [`Self::register_kernel`] convenience) and
+    /// they are immediately servable — batching, admission control, pool
+    /// dispatch, and caching included.
+    pub fn registry(&self) -> &Arc<KernelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Register a kernel factory under `name` (no shadowing; see
+    /// [`KernelRegistry::register`]).
+    pub fn register_kernel(
+        &self,
+        name: &str,
+        factory: impl KernelFactory + 'static,
+    ) -> Result<KernelId, RegistryError> {
+        self.shared.registry.register(name, factory)
+    }
+
+    /// Register a kernel factory under `name`, replacing any existing
+    /// registration *and* eagerly evicting the replaced registration's
+    /// cached results (they could never be served for the new kernel — keys
+    /// embed the registration id — but they would squat in the cache's
+    /// capacity budget until normal eviction cycled them out).
+    pub fn register_kernel_replacing(
+        &self,
+        name: &str,
+        factory: impl KernelFactory + 'static,
+    ) -> KernelId {
+        let (id, replaced) = self.shared.registry.register_or_replace(name, factory);
+        if let Some(old_id) = replaced {
+            if self.shared.config.cache_capacity > 0 {
+                self.shared.cache.lock().retain(|key, _| key.key.kernel != old_id);
+            }
+        }
+        id
+    }
+
+    /// Number of results currently held by the LRU cache (observability for
+    /// invalidation and capacity tuning).
+    pub fn cached_results(&self) -> usize {
+        self.shared.cache.lock().len()
     }
 
     /// Point-in-time service metrics.
@@ -230,23 +357,42 @@ pub struct ForkGraphService {
 
 impl ForkGraphService {
     /// Start the service over `graph` with the given engine and service
-    /// configurations.
+    /// configurations and its own built-ins-only registry (use
+    /// [`Self::start_with_registry`] to share or pre-populate one).
     ///
     /// `engine_config.num_threads` is the *cap* on per-batch parallelism:
     /// the batcher sizes each micro-batch's worker count adaptively with
-    /// [`adaptive::effective_workers`] (a 2-query batch runs serially, a
-    /// 64-query batch uses the full cap) and dispatches parallel runs onto
-    /// one persistent [`WorkerPool`] shared across all batches.
+    /// [`adaptive::effective_workers_weighted`] (a 2-query batch runs
+    /// serially, a 64-query batch uses the full cap, scaled by the cohort
+    /// kernel's declared weight) and dispatches parallel runs onto one
+    /// persistent [`WorkerPool`] shared across all batches.
     pub fn start(
         graph: Arc<PartitionedGraph>,
         engine_config: EngineConfig,
         config: ServiceConfig,
+    ) -> Self {
+        Self::start_with_registry(
+            graph,
+            engine_config,
+            config,
+            Arc::new(KernelRegistry::with_builtins()),
+        )
+    }
+
+    /// Start the service with an explicit kernel registry (e.g. one already
+    /// holding custom kernels, or one shared by several services).
+    pub fn start_with_registry(
+        graph: Arc<PartitionedGraph>,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+        registry: Arc<KernelRegistry>,
     ) -> Self {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
             counters: Arc::new(ServiceCounters::new()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            registry,
             config,
             num_vertices: graph.graph().num_vertices(),
         });
@@ -292,6 +438,11 @@ impl ForkGraphService {
         ServiceHandle { shared: Arc::clone(&self.shared) }
     }
 
+    /// The kernel registry queries are resolved against.
+    pub fn registry(&self) -> &Arc<KernelRegistry> {
+        &self.shared.registry
+    }
+
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
         self.shared.counters.snapshot()
@@ -304,8 +455,8 @@ impl ForkGraphService {
     }
 
     /// Recent per-batch sizing decisions (bounded ring): how many queries
-    /// each dispatched batch carried and the worker count the adaptive
-    /// policy chose for it.
+    /// each dispatched batch carried, the worker count the adaptive policy
+    /// chose for it, and the kernel registration it ran.
     pub fn batch_records(&self) -> Vec<BatchRecord> {
         self.shared.counters.batch_records()
     }
@@ -372,11 +523,11 @@ fn batcher_loop(
             // Queries with other keys keep their queue position and form the
             // next batch. Single forward pass (O(queue)) — the lock is held,
             // so submitters are stalled while this runs.
-            let key = inner.queue.front().expect("queue non-empty").spec.batch_key();
+            let key = inner.queue.front().expect("queue non-empty").batch_key.clone();
             let mut batch: Vec<Pending> = Vec::new();
             let mut rest: VecDeque<Pending> = VecDeque::with_capacity(inner.queue.len());
             for pending in inner.queue.drain(..) {
-                if batch.len() < shared.config.max_batch_size && pending.spec.batch_key() == key {
+                if batch.len() < shared.config.max_batch_size && pending.batch_key == key {
                     batch.push(pending);
                 } else {
                     rest.push_back(pending);
@@ -388,11 +539,18 @@ fn batcher_loop(
         };
 
         // Adaptive sizing: pick the worker count for *this* batch from its
-        // size and the partition count (pure policy in `adaptive`), then
-        // build a per-batch engine — cheap (two refs + a config copy) —
-        // that dispatches onto the shared persistent pool when parallel.
-        let workers = adaptive::effective_workers(batch.len(), num_partitions, max_workers);
-        shared.counters.on_batch_workers(batch.len(), workers);
+        // size, the partition count, and the cohort kernel's declared
+        // weight (pure policy in `adaptive`), then build a per-batch engine
+        // — cheap (two refs + a config copy) — that dispatches onto the
+        // shared persistent pool when parallel.
+        let cohort = &batch[0].resolved;
+        let workers = adaptive::effective_workers_weighted(
+            batch.len(),
+            num_partitions,
+            max_workers,
+            cohort.kernel.batch_weight(),
+        );
+        shared.counters.on_batch_workers(batch.len(), workers, cohort.id.as_u64());
         let batch_config = engine_config.with_threads(workers);
         let engine = match &pool {
             Some(pool) if workers > 1 => {
@@ -401,32 +559,56 @@ fn batcher_loop(
             _ => ForkGraphEngine::new(&graph, batch_config),
         };
 
-        // One consolidated engine run for the whole cohort — this is where
-        // concurrent requests turn into the paper's fork-processing pattern.
-        // An engine panic must not wedge the service: contain it, fail the
-        // cohort's tickets, and keep serving (submit-time validation makes
-        // this unreachable for the known panic class of bad sources).
-        let sources: Vec<VertexId> = batch.iter().map(|p| p.spec.source()).collect();
+        // One consolidated, type-erased engine run for the whole cohort —
+        // this is where concurrent requests turn into the paper's
+        // fork-processing pattern, for built-in and registered kernels
+        // alike. An engine panic must not wedge the service: contain it,
+        // fail the cohort's tickets, and keep serving (submit-time
+        // validation makes this unreachable for the known panic class of
+        // bad sources, but registered kernels are user code).
+        let kernel = Arc::clone(&cohort.kernel);
+        let kernel_id = cohort.id;
+        let kernel_name = Arc::clone(&cohort.name);
+        let state_type = cohort.kernel.state_type_name();
+        let sources: Vec<VertexId> = batch.iter().map(|p| p.source).collect();
         let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_batch(&engine, &batch[0].spec, &sources)
+            engine.run_dyn(&*kernel, &sources).per_query
         }));
         let results = match results {
-            Ok(results) => results,
-            Err(_) => {
+            // `DynKernel` is an open trait: a hand-implemented `run_erased`
+            // (bypassing `erase`) could return the wrong number of states.
+            // Zipping short would strand the surplus submitters on tickets
+            // that never resolve, so a length mismatch fails the cohort the
+            // same way a kernel panic does — and the batcher keeps serving.
+            Ok(results) if results.len() == batch.len() => results,
+            _ => {
                 for pending in batch {
                     pending.slot.fulfil(Err(ServiceError::EngineFailure));
                 }
                 continue;
             }
         };
-        debug_assert_eq!(results.len(), batch.len());
 
         let now = Instant::now();
+        // Don't cache results of a registration that was replaced while this
+        // batch was queued/running: the entries could never be served again
+        // (future resolves yield the new id) and would only squat in the
+        // capacity budget `register_kernel_replacing` just reclaimed. The
+        // liveness check happens *under the cache lock* (which the replace
+        // path's eviction also takes), so a concurrent replacement either
+        // lands before the check — we observe the new id and skip caching —
+        // or its eviction runs after our inserts and removes them; there is
+        // no window for dead-id entries to survive.
         let mut cache = (shared.config.cache_capacity > 0).then(|| shared.cache.lock());
-        for (pending, result) in batch.into_iter().zip(results) {
-            let result = Arc::new(result);
+        if cache.is_some() && shared.registry.id_of(&kernel_name) != Some(kernel_id) {
+            cache = None;
+        }
+        for (pending, state) in batch.into_iter().zip(results) {
+            let result =
+                Arc::new(QueryResult::new(kernel_id, Arc::clone(&kernel_name), state_type, state));
             if let Some(cache) = cache.as_mut() {
-                cache.insert(pending.spec.cache_key(), Arc::clone(&result));
+                let cache_key = CacheKey { key: pending.batch_key, source: pending.source };
+                cache.insert(cache_key, Arc::clone(&result));
             }
             shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
             pending.slot.fulfil(Ok(result));
@@ -439,43 +621,5 @@ fn batcher_loop(
     let leftovers: Vec<Pending> = shared.inner.lock().queue.drain(..).collect();
     for pending in leftovers {
         pending.slot.fulfil(Err(ServiceError::ShuttingDown));
-    }
-}
-
-/// Run one homogeneous cohort through the engine and demux per-source results.
-///
-/// `template` is the first query of the batch; every query in `sources`
-/// shares its [`crate::query::BatchKey`], so its configuration is the batch's
-/// configuration.
-fn execute_batch(
-    engine: &ForkGraphEngine<'_>,
-    template: &QuerySpec,
-    sources: &[VertexId],
-) -> Vec<QueryResult> {
-    match template {
-        QuerySpec::Sssp { .. } => engine
-            .run_sssp(sources)
-            .into_per_source(sources)
-            .into_iter()
-            .map(|(_, dist)| QueryResult::Sssp(dist))
-            .collect(),
-        QuerySpec::Bfs { .. } => engine
-            .run_bfs(sources)
-            .into_per_source(sources)
-            .into_iter()
-            .map(|(_, level)| QueryResult::Bfs(level))
-            .collect(),
-        QuerySpec::Ppr { config, .. } => engine
-            .run_ppr(sources, config)
-            .into_per_source(sources)
-            .into_iter()
-            .map(|(_, state)| QueryResult::Ppr(state))
-            .collect(),
-        QuerySpec::RandomWalk { config, .. } => engine
-            .run_random_walks(sources, config)
-            .into_per_source(sources)
-            .into_iter()
-            .map(|(_, state)| QueryResult::RandomWalk(state))
-            .collect(),
     }
 }

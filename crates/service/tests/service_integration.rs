@@ -9,7 +9,7 @@ use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::{gen, VertexId};
 use fg_seq::ppr::PprConfig;
-use fg_service::{ForkGraphService, QueryResult, QuerySpec, ServiceConfig, ServiceError};
+use fg_service::{ForkGraphService, Query, QueryResult, QuerySpec, ServiceConfig, ServiceError};
 use forkgraph_core::{EngineConfig, ForkGraphEngine};
 
 fn shared_graph(seed: u64) -> Arc<PartitionedGraph> {
@@ -140,7 +140,7 @@ fn repeated_queries_hit_the_result_cache() {
 
     let first = handle.query(QuerySpec::Sssp { source: 42 }).unwrap();
     let second = handle.query(QuerySpec::Sssp { source: 42 }).unwrap();
-    assert_eq!(first, second);
+    assert_eq!(first.try_sssp().unwrap(), second.try_sssp().unwrap());
     // The second answer is the same shared allocation, straight from cache.
     assert!(Arc::ptr_eq(&first, &second));
 
@@ -149,9 +149,12 @@ fn repeated_queries_hit_the_result_cache() {
     assert_eq!(metrics.cache_misses, 1);
     assert!((metrics.cache_hit_rate() - 0.5).abs() < 1e-12);
 
-    // A different source is a miss, not a false hit.
-    let third = handle.query(QuerySpec::Sssp { source: 43 }).unwrap();
-    assert_ne!(first, third);
+    // A different source is a miss, not a false hit. The builder API shares
+    // the cache with the enum shim, so this *would* hit if source matched.
+    let third = handle.run_query(Query::kernel("sssp").source(43)).unwrap();
+    assert!(!Arc::ptr_eq(&first, &third));
+    assert_ne!(first.try_sssp().unwrap(), third.try_sssp().unwrap());
+    assert_eq!(handle.metrics().cache_misses, 2, "different source reaches the engine");
     service.shutdown();
 }
 
@@ -205,6 +208,59 @@ fn out_of_range_sources_are_rejected_and_do_not_wedge_the_service() {
     // The service keeps serving valid queries afterwards.
     let result = handle.query(QuerySpec::Bfs { source: 0 }).unwrap();
     assert!(result.as_bfs().is_some());
+    service.shutdown();
+}
+
+#[test]
+fn wrong_kernel_accessors_name_the_actual_kernel() {
+    let pg = shared_graph(103);
+    let service = ForkGraphService::with_defaults(Arc::clone(&pg));
+    let handle = service.handle();
+
+    let result = handle.query(QuerySpec::Bfs { source: 4 }).unwrap();
+    // Old-style accessor: silent None on kind mismatch.
+    assert!(result.as_sssp().is_none());
+    // Checked accessor: a typed error that says what the result actually is.
+    let err = result.try_sssp().unwrap_err();
+    assert_eq!(err.kernel, "bfs");
+    assert!(err.to_string().contains("bfs"), "{err}");
+    assert!(result.try_bfs().is_ok());
+
+    // Typed tickets surface the same information through ServiceError.
+    let ticket = handle.submit_bfs(5).unwrap().typed::<Vec<fg_graph::Dist>>();
+    match ticket.wait().unwrap_err() {
+        ServiceError::ResultMismatch(mismatch) => assert_eq!(mismatch.kernel, "bfs"),
+        other => panic!("expected ResultMismatch, got {other:?}"),
+    }
+    // The correctly-typed wait on the same class of query succeeds.
+    let levels = handle.submit_bfs(5).unwrap().typed::<Vec<u32>>().wait().unwrap();
+    assert_eq!(levels[5], 0);
+    service.shutdown();
+}
+
+#[test]
+fn unknown_kernels_and_bad_params_fail_at_submit() {
+    let pg = shared_graph(107);
+    let service = ForkGraphService::with_defaults(Arc::clone(&pg));
+    let handle = service.handle();
+
+    assert_eq!(
+        handle.submit_query(Query::kernel("pagerank").source(0)).unwrap_err(),
+        ServiceError::UnknownKernel { name: "pagerank".to_string() }
+    );
+    assert_eq!(
+        handle.submit_query(Query::kernel("sssp")).unwrap_err(),
+        ServiceError::MissingSource { kernel: "sssp".to_string() }
+    );
+    match handle.submit_query(Query::kernel("ppr").source(0).param("epsilom", 1e-5)).unwrap_err() {
+        ServiceError::InvalidParams { kernel, reason } => {
+            assert_eq!(kernel, "ppr");
+            assert!(reason.contains("epsilom"), "{reason}");
+        }
+        other => panic!("expected InvalidParams, got {other:?}"),
+    }
+    // The service keeps serving after rejections.
+    assert!(handle.run_query(Query::kernel("bfs").source(0)).unwrap().try_bfs().is_ok());
     service.shutdown();
 }
 

@@ -18,7 +18,6 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use forkgraph::prelude::*;
-use forkgraph::seq::ppr::PprConfig;
 
 const CLIENTS: usize = 4;
 const QUERIES_PER_CLIENT: usize = 50;
@@ -70,23 +69,35 @@ fn main() {
                         } else {
                             rng.gen_range(0u32..n)
                         };
-                        let spec = match rng.gen_range(0u32..3) {
-                            0 => QuerySpec::Sssp { source },
-                            1 => QuerySpec::Bfs { source },
-                            _ => QuerySpec::Ppr {
-                                seed: source,
-                                config: PprConfig { epsilon: 1e-5, ..PprConfig::default() },
-                            },
+                        // Mix the two submission APIs: the open builder
+                        // (`Query::kernel(..)`) and the legacy enum shim —
+                        // they resolve to the same registered kernels and
+                        // batch/cache together.
+                        let query = match rng.gen_range(0u32..3) {
+                            0 => Query::kernel("sssp").source(source),
+                            1 => QuerySpec::Bfs { source }.to_query(),
+                            _ => Query::kernel("ppr").source(source).param("epsilon", 1e-5),
                         };
-                        match handle.submit(spec) {
+                        match handle.submit_query(query) {
                             Ok(ticket) => {
                                 let result = ticket.wait().expect("service answered");
-                                // Touch the result so the work is observable.
-                                match &*result {
-                                    QueryResult::Sssp(d) => assert_eq!(d[source as usize], 0),
-                                    QueryResult::Bfs(l) => assert_eq!(l[source as usize], 0),
-                                    QueryResult::Ppr(p) => assert!(p.total_mass() > 0.9),
-                                    QueryResult::RandomWalk(_) => {}
+                                // Touch the result so the work is observable;
+                                // the try_* accessors name the actual kernel
+                                // if we ever mismatch.
+                                match result.kernel_name() {
+                                    "sssp" => {
+                                        let d = result.try_sssp().expect("sssp result");
+                                        assert_eq!(d[source as usize], 0);
+                                    }
+                                    "bfs" => {
+                                        let l = result.try_bfs().expect("bfs result");
+                                        assert_eq!(l[source as usize], 0);
+                                    }
+                                    "ppr" => {
+                                        let p = result.try_ppr().expect("ppr result");
+                                        assert!(p.total_mass() > 0.9);
+                                    }
+                                    other => panic!("unexpected kernel {other:?}"),
                                 }
                                 answered += 1;
                             }

@@ -50,7 +50,11 @@ pub mod prelude {
     pub use fg_graph::{CsrGraph, GraphBuilder, VertexId, Weight};
     pub use fg_metrics::WorkCounters;
     pub use fg_seq::dijkstra::dijkstra;
-    pub use fg_service::{ForkGraphService, QueryResult, QuerySpec, ServiceConfig, ServiceError};
+    pub use fg_service::{
+        ForkGraphService, InstantiatedKernel, KernelRegistry, Query, QueryParams, QueryResult,
+        QuerySpec, ServiceConfig, ServiceError, Ticket,
+    };
+    pub use forkgraph_core::dynkernel::{erase, DynKernel};
     pub use forkgraph_core::engine::{EngineConfig, ExecutorMode, ForkGraphEngine};
     pub use forkgraph_core::pool::WorkerPool;
     pub use forkgraph_core::sched::SchedulingPolicy;
