@@ -77,6 +77,7 @@ fn run_service(pg: &Arc<PartitionedGraph>, cache_capacity: usize) -> usize {
             max_batch_size: 64,
             max_queue_depth: 4096,
             cache_capacity,
+            ..ServiceConfig::default()
         },
     );
     let n = pg.graph().num_vertices() as u32;

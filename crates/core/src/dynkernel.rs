@@ -29,10 +29,11 @@
 use std::any::{Any, TypeId};
 use std::sync::Arc;
 
-use fg_graph::VertexId;
+use fg_graph::{CsrGraph, VertexId};
 
 use crate::engine::{ForkGraphEngine, ForkGraphRunResult};
 use crate::kernel::FppKernel;
+use crate::operation::{ErasedPayload, MultiValue16, MultiValue8, Operation, PayloadOps, Priority};
 
 /// One query's type-erased final state, as produced by
 /// [`DynKernel::run_erased`]. Downcast it to the kernel's concrete
@@ -75,6 +76,83 @@ pub trait DynKernel: Send + Sync {
         engine: &ForkGraphEngine<'_>,
         sources: &[VertexId],
     ) -> ForkGraphRunResult<ErasedState>;
+
+    /// The kernel's heterogeneous-run hook objects, if it can join a
+    /// [`ForkGraphEngine::run_multi`] pass: `None` (the default, and the
+    /// only option for hand-written implementations — [`MultiKernelHooks`]
+    /// is sealed) keeps the kernel out of mixed runs, so serving layers run
+    /// it in its own single-kernel pass. [`erase`] returns `Some` whenever
+    /// the concrete [`FppKernel::Value`] fits the wide ([`MultiValue16`])
+    /// inline payload. A wrapper `DynKernel` that owns another erased
+    /// kernel may *delegate* by forwarding the whole [`MultiHooks`] bundle —
+    /// never by re-implementing individual hooks, which is exactly what the
+    /// seal exists to prevent (one hook object pairs every erased write
+    /// with the matching typed read).
+    fn multi(&self) -> Option<MultiHooks<'_>> {
+        None
+    }
+}
+
+/// A kernel's width-specific hook objects for heterogeneous runs, returned
+/// by [`DynKernel::multi`]. Opaque outside this crate: external code can
+/// only forward the bundle, which is what keeps the two widths' erased
+/// writes and reads paired per kernel.
+///
+/// [`ForkGraphEngine::run_multi`] drives a whole run on **one** payload
+/// width — [`MultiValue8`] when every group's kernel offers `narrow`
+/// (operations stay as small as native `u64`-valued ones), [`MultiValue16`]
+/// otherwise — so a run never pays for width it doesn't use.
+#[derive(Clone, Copy)]
+pub struct MultiHooks<'a> {
+    /// Present iff the kernel's value fits 8 bytes.
+    pub(crate) narrow: Option<&'a dyn MultiKernelHooks<MultiValue8>>,
+    /// Present for every multi-capable kernel (values ≤ 16 bytes).
+    pub(crate) wide: &'a dyn MultiKernelHooks<MultiValue16>,
+}
+
+/// Private supertrait sealing [`MultiKernelHooks`] to this crate.
+mod sealed {
+    pub trait SealedMultiHooks {}
+}
+
+/// One kernel group's hooks inside a heterogeneous
+/// [`ForkGraphEngine::run_multi`] pass on payload width `P`, obtained via
+/// [`DynKernel::multi`].
+///
+/// **Sealed** — implemented only by [`erase`]'s wrapper. The seal is the
+/// soundness argument for the payloads' unchecked (in release builds)
+/// inline erasure: every payload of a query group is written
+/// ([`Self::source_op_multi`], re-erasure of visit leftovers) and read
+/// (de-erasure in [`Self::process_visit_multi`]) by one wrapper around one
+/// concrete [`FppKernel`], so the bytes always round-trip through the same
+/// `Value` type; external code can pass hook objects along but never
+/// interleave two kernels' erased values.
+pub trait MultiKernelHooks<P: ErasedPayload>: Send + Sync + sealed::SealedMultiHooks {
+    /// Allocate one query's initial state, boxed for the multi-run state
+    /// table. The concrete type behind the box is [`FppKernel::State`] (what
+    /// [`Self::process_visit_multi`] downcasts to, and what the run's
+    /// [`ErasedState`]s wrap on completion).
+    fn init_state_any(&self, graph: &CsrGraph) -> Box<dyn Any + Send + Sync>;
+
+    /// The erased operation seeding one of this group's queries at `source`.
+    fn source_op_multi(&self, source: VertexId) -> (P, Priority);
+
+    /// Process one of this group's queries' consolidated operations within
+    /// one partition visit: downcast `state`, de-erase `ops` to the concrete
+    /// [`FppKernel::Value`] **once**, run the engine's monomorphized visit
+    /// loop ([`crate::multi::MultiVisit::process_native`] — priority
+    /// ordering, yielding, tracing, counters, exactly as a single-kernel
+    /// run), and re-erase the outcome's leftover/remote operations.
+    /// Visit-granularity erasure is what keeps mixed runs near native
+    /// speed: the per-edge hot loop never crosses a virtual call, and
+    /// erasure costs two value conversions per operation lifetime.
+    fn process_visit_multi(
+        &self,
+        visit: &crate::multi::MultiVisit<'_, '_>,
+        query: u32,
+        ops: Vec<crate::operation::Operation<P>>,
+        state: &mut dyn Any,
+    ) -> crate::engine::VisitOutcome<P>;
 }
 
 /// The blanket erasure wrapper behind [`erase`].
@@ -114,6 +192,79 @@ where
         ForkGraphRunResult {
             per_query: per_query.into_iter().map(|state| Arc::new(state) as ErasedState).collect(),
             measurement,
+        }
+    }
+
+    fn multi(&self) -> Option<MultiHooks<'_>> {
+        MultiValue16::fits::<K::Value>().then(|| MultiHooks {
+            narrow: MultiValue8::fits::<K::Value>()
+                .then_some(self as &dyn MultiKernelHooks<MultiValue8>),
+            wide: self as &dyn MultiKernelHooks<MultiValue16>,
+        })
+    }
+}
+
+impl<K> sealed::SealedMultiHooks for ErasedFpp<K>
+where
+    K: FppKernel + Send + 'static,
+    K::State: Sync + 'static,
+{
+}
+
+// One generic impl serves both payload widths; `P::new` statically refuses
+// a width the value doesn't fit (unreachable behind `multi()`'s gating).
+impl<K, P> MultiKernelHooks<P> for ErasedFpp<K>
+where
+    K: FppKernel + Send + 'static,
+    K::State: Sync + 'static,
+    P: PayloadOps,
+{
+    fn init_state_any(&self, graph: &CsrGraph) -> Box<dyn Any + Send + Sync> {
+        Box::new(self.0.init_state(graph))
+    }
+
+    fn source_op_multi(&self, source: VertexId) -> (P, Priority) {
+        let (value, priority) = self.0.source_op(source);
+        (P::new(value), priority)
+    }
+
+    fn process_visit_multi(
+        &self,
+        visit: &crate::multi::MultiVisit<'_, '_>,
+        query: u32,
+        ops: Vec<Operation<P>>,
+        state: &mut dyn Any,
+    ) -> crate::engine::VisitOutcome<P> {
+        let state = state.downcast_mut::<K::State>().unwrap_or_else(|| {
+            panic!(
+                "multi-kernel run handed kernel {:?} a state that is not {}",
+                self.0.name(),
+                std::any::type_name::<K::State>(),
+            )
+        });
+        // De-erase lazily — the conversion fuses straight into the visit's
+        // priority-heap build, so the group costs one pass and no
+        // intermediate allocation — and run the identical monomorphized
+        // visit the single-kernel path uses…
+        let native = ops
+            .into_iter()
+            .map(|op| Operation::new(op.query, op.vertex, op.value.get::<K::Value>(), op.priority));
+        let outcome = visit.process_native(&self.0, query, native, state);
+        // …and re-erase only what leaves the visit.
+        crate::engine::VisitOutcome {
+            query: outcome.query,
+            leftover: outcome
+                .leftover
+                .into_iter()
+                .map(|op| Operation::new(op.query, op.vertex, P::new(op.value), op.priority))
+                .collect(),
+            remote: outcome
+                .remote
+                .into_iter()
+                .map(|(target, op)| {
+                    (target, Operation::new(op.query, op.vertex, P::new(op.value), op.priority))
+                })
+                .collect(),
         }
     }
 }

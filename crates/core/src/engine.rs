@@ -29,9 +29,9 @@ use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
 
 use crate::buffer::{ConsolidationMethod, PartitionBuffer};
-use crate::kernel::FppKernel;
+use crate::kernel::{FppKernel, KernelDriver};
 use crate::kernels::{BfsKernel, DfsKernel, PprKernel, RandomWalkKernel, SsspKernel};
-use crate::operation::{HeapEntry, Operation};
+use crate::operation::{HeapEntry, Operation, Priority};
 use crate::pool::WorkerPool;
 use crate::sched::{Scheduler, SchedulingPolicy};
 use crate::yield_policy::YieldPolicy;
@@ -297,14 +297,70 @@ impl<S> ForkGraphRunResult<S> {
     }
 }
 
-/// Outcome of one query's processing during one partition visit.
-pub(crate) struct VisitOutcome<V> {
-    pub(crate) query: u32,
+/// The single-kernel [`KernelDriver`]: wraps one `&K` and ignores the query
+/// index. Every method is an inlined forward — a visit goes straight into
+/// the monomorphized [`ForkGraphEngine::process_query_visit`] — so `run`
+/// over a `SingleDriver` compiles to exactly the code the pre-driver
+/// pipeline produced; the driver seam costs the hot path nothing.
+pub(crate) struct SingleDriver<'k, K: FppKernel>(pub(crate) &'k K);
+
+impl<K: FppKernel> KernelDriver for SingleDriver<'_, K> {
+    type Value = K::Value;
+    type State = K::State;
+
+    #[inline]
+    fn init_state(&self, graph: &CsrGraph, _query: u32) -> K::State {
+        self.0.init_state(graph)
+    }
+
+    #[inline]
+    fn source_op(&self, _query: u32, source: VertexId) -> (K::Value, Priority) {
+        self.0.source_op(source)
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn process_visit(
+        &self,
+        engine: &ForkGraphEngine<'_>,
+        graph: &CsrGraph,
+        partition: PartitionId,
+        query: u32,
+        ops: Vec<Operation<K::Value>>,
+        state: &mut K::State,
+        partition_edges: u64,
+        num_queries: usize,
+        tracer: &GraphAccessTracer,
+        counters: &WorkCounters,
+    ) -> VisitOutcome<K::Value> {
+        engine.process_query_visit(
+            self.0,
+            graph,
+            partition,
+            query,
+            ops,
+            state,
+            partition_edges,
+            num_queries,
+            tracer,
+            counters,
+        )
+    }
+}
+
+/// Outcome of one query's processing during one partition visit, as
+/// produced by the engine's internal `process_query_visit` loop: what did
+/// complete locally and where it must go next. Public because the erased
+/// multi-kernel visit hook ([`crate::dynkernel::DynKernel`]) returns it;
+/// everything else about visits stays engine-internal.
+pub struct VisitOutcome<V> {
+    /// The query this visit processed.
+    pub query: u32,
     /// Operations yielded or left unprocessed; they return to the partition's
     /// buffer.
-    pub(crate) leftover: Vec<Operation<V>>,
+    pub leftover: Vec<Operation<V>>,
     /// Operations targeting other partitions, sent in batches after the visit.
-    pub(crate) remote: Vec<(PartitionId, Operation<V>)>,
+    pub remote: Vec<(PartitionId, Operation<V>)>,
 }
 
 /// The ForkGraph execution engine over an LLC-partitioned graph.
@@ -358,12 +414,24 @@ impl<'g> ForkGraphEngine<'g> {
     /// With `config.num_threads > 1` (and more than one partition) the batch
     /// is executed by the inter-partition parallel executor
     /// ([`crate::executor`]); otherwise by the paper's serial
-    /// partition-at-a-time loop below.
+    /// partition-at-a-time loop of the internal `run_driver` pipeline.
     pub fn run<K: FppKernel>(
         &self,
         kernel: &K,
         sources: &[VertexId],
     ) -> ForkGraphRunResult<K::State> {
+        self.run_driver(&SingleDriver(kernel), sources)
+    }
+
+    /// The run pipeline shared by every entry point: [`Self::run`] drives a
+    /// monomorphized [`SingleDriver`], [`Self::run_multi`] a heterogeneous
+    /// [`crate::multi::MultiDriver`]. Picks serial / spawn / pool execution
+    /// exactly as before the driver seam existed.
+    pub(crate) fn run_driver<D: KernelDriver>(
+        &self,
+        driver: &D,
+        sources: &[VertexId],
+    ) -> ForkGraphRunResult<D::State> {
         let workers = self.config.resolved_threads();
         // Mode precedence: explicit config > attached pool > environment.
         let mode = match self.config.executor {
@@ -385,7 +453,7 @@ impl<'g> ForkGraphEngine<'g> {
                 })),
                 _ => None,
             };
-            return crate::executor::run_parallel(self, kernel, sources, workers, pool);
+            return crate::executor::run_parallel(self, driver, sources, workers, pool);
         }
         let graph = self.pg.graph();
         let num_partitions = self.pg.num_partitions();
@@ -397,15 +465,15 @@ impl<'g> ForkGraphEngine<'g> {
         let counters = WorkCounters::new();
         let watch = Stopwatch::start();
 
-        let mut buffers: Vec<PartitionBuffer<K::Value>> =
+        let mut buffers: Vec<PartitionBuffer<D::Value>> =
             (0..num_partitions).map(|_| PartitionBuffer::new(self.config.num_buckets)).collect();
-        let states: Vec<Mutex<K::State>> =
-            (0..num_queries).map(|_| Mutex::new(kernel.init_state(graph))).collect();
+        let states: Vec<Mutex<D::State>> =
+            (0..num_queries).map(|q| Mutex::new(driver.init_state(graph, q as u32))).collect();
         let mut scheduler = Scheduler::new(self.config.scheduling);
 
         // InitBuffers(P, Q): seed every query at its source.
         for (q, &source) in sources.iter().enumerate() {
-            let (value, priority) = kernel.source_op(source);
+            let (value, priority) = driver.source_op(q as u32, source);
             let p = self.pg.partition_of(source) as usize;
             if buffers[p].is_empty() {
                 scheduler.stamp(&mut buffers[p]);
@@ -420,20 +488,20 @@ impl<'g> ForkGraphEngine<'g> {
             let p_usize = p as usize;
             let partition_edges = self.pg.partition(p).num_edges() as u64;
 
-            let groups: Vec<(u32, Vec<Operation<K::Value>>)> = if self.config.consolidate {
+            let groups: Vec<(u32, Vec<Operation<D::Value>>)> = if self.config.consolidate {
                 buffers[p_usize].drain_consolidated(self.config.consolidation_method)
             } else {
                 group_preserving_order(buffers[p_usize].drain_unconsolidated())
             };
 
             // parallel_for_each query q in the partition's buffer.
-            let outcomes: Vec<VisitOutcome<K::Value>> = if groups.len() > 1 {
+            let outcomes: Vec<VisitOutcome<D::Value>> = if groups.len() > 1 {
                 groups
                     .into_par_iter()
                     .map(|(q, ops)| {
                         let mut state = states[q as usize].lock();
-                        self.process_query_visit(
-                            kernel,
+                        driver.process_visit(
+                            self,
                             graph,
                             p,
                             q,
@@ -451,8 +519,8 @@ impl<'g> ForkGraphEngine<'g> {
                     .into_iter()
                     .map(|(q, ops)| {
                         let mut state = states[q as usize].lock();
-                        self.process_query_visit(
-                            kernel,
+                        driver.process_visit(
+                            self,
                             graph,
                             p,
                             q,
@@ -490,7 +558,7 @@ impl<'g> ForkGraphEngine<'g> {
         }
 
         counters.add_queries_completed(num_queries as u64);
-        let per_query: Vec<K::State> = states.into_iter().map(|m| m.into_inner()).collect();
+        let per_query: Vec<D::State> = states.into_iter().map(|m| m.into_inner()).collect();
         let measurement = self.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
         ForkGraphRunResult { per_query, measurement }
     }
@@ -525,7 +593,10 @@ impl<'g> ForkGraphEngine<'g> {
     }
 
     /// Process one query's consolidated operations within one partition visit.
-    /// Shared between the serial loop above and the parallel executor.
+    /// The monomorphized intra-visit hot loop shared by the serial engine,
+    /// the parallel executor, and (via the erased per-visit hook
+    /// [`crate::dynkernel::DynKernel::process_visit_multi`]) heterogeneous
+    /// multi-kernel runs.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn process_query_visit<K: FppKernel>(
         &self,
@@ -533,7 +604,7 @@ impl<'g> ForkGraphEngine<'g> {
         graph: &CsrGraph,
         partition: PartitionId,
         query: u32,
-        ops: Vec<Operation<K::Value>>,
+        ops: impl IntoIterator<Item = Operation<K::Value>>,
         state: &mut K::State,
         partition_edges: u64,
         num_queries: usize,
@@ -631,6 +702,39 @@ impl<'g> ForkGraphEngine<'g> {
         sources: &[VertexId],
     ) -> ForkGraphRunResult<crate::dynkernel::ErasedState> {
         kernel.run_erased(self, sources)
+    }
+
+    /// Run a **heterogeneous** batch — several kernel *groups*, each with its
+    /// own erased value and state types — through **one** partition pass, so
+    /// every group amortises the same LLC-resident partition sweeps. This is
+    /// the engine half of the paper's "share the pass across everything in
+    /// flight" ideal: an SSSP cohort and a PPR cohort waiting on the same
+    /// graph no longer pay one sweep each.
+    ///
+    /// Each `(kernel, sources)` pair contributes one query per source.
+    /// Execution is the standard internal `run_driver` pipeline over the
+    /// heterogeneous driver of [`crate::multi`]: mixed-kernel operations share partition
+    /// buffers and mailboxes as inline erased payloads
+    /// ([`crate::operation::MultiValue8`] / [`crate::operation::MultiValue16`],
+    /// picked per run by the narrowest width every group fits),
+    /// scheduling and yielding see the union of all groups, and each
+    /// partition visit dispatches every operation to its group's kernel. All
+    /// executor modes (serial / spawn / pool) work unchanged.
+    ///
+    /// A single-group call is semantically [`Self::run_dyn`] (byte-identical
+    /// results — property-tested in `tests/multi_equivalence.rs`), just
+    /// through the erased payload path; `run_dyn` remains the cheaper
+    /// monomorphized special case for one-kernel batches.
+    ///
+    /// # Panics
+    /// Panics if a group's kernel has an operation value too large for the
+    /// inline payload ([`crate::operation::MultiValue16::fits_layout`]) or if
+    /// more than `u16::MAX + 1` groups are passed.
+    pub fn run_multi(
+        &self,
+        groups: &[(&dyn crate::dynkernel::DynKernel, &[VertexId])],
+    ) -> crate::multi::MultiRunResult {
+        crate::multi::run_multi(self, groups)
     }
 
     // -- Convenience runners for the built-in kernels ------------------------

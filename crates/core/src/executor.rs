@@ -47,13 +47,18 @@
 //! partitions in flight the crew is already saturated, and per-visit thread
 //! teams would only thrash the cache the partitioning fought to keep warm.
 //!
-//! The executor is generic over the kernel ([`FppKernel`]), monomorphized
-//! per concrete kernel type — including kernels that arrive through the
-//! type-erased [`crate::dynkernel::DynKernel`] layer, whose wrapper re-enters
-//! [`ForkGraphEngine::run`] with the concrete type. A registered custom
-//! kernel therefore pays no per-operation erasure cost here, and the
-//! persistent pool's `TypeId`-keyed arena recycles its mailboxes exactly as
-//! it does for the built-ins.
+//! The executor is generic over the run's internal `KernelDriver` seam
+//! (see `crate::kernel`):
+//! for single-kernel runs that is the monomorphized
+//! `SingleDriver` (kernels arriving through the type-erased
+//! [`crate::dynkernel::DynKernel`] layer re-enter [`ForkGraphEngine::run`]
+//! with the concrete type, so they pay no per-operation erasure cost here),
+//! and for heterogeneous multi-kernel runs it is
+//! `MultiDriver` ([`crate::multi`]), whose mailboxes carry
+//! [`crate::operation::MultiValue8`]/[`crate::operation::MultiValue16`]
+//! payloads through this exact same code.
+//! The persistent pool's `TypeId`-keyed arena recycles mailboxes per value
+//! type — all multi runs of a payload width share one storage set.
 //!
 //! Result equivalence: SSSP and BFS relax monotonically to a unique fixpoint,
 //! so parallel execution is byte-identical to serial execution under every
@@ -77,7 +82,7 @@ use fg_metrics::{Stopwatch, WorkCounters, WorkerSnapshot};
 
 use crate::buffer::PartitionBuffer;
 use crate::engine::{group_preserving_order, ForkGraphEngine, ForkGraphRunResult};
-use crate::kernel::FppKernel;
+use crate::kernel::KernelDriver;
 use crate::operation::{Operation, Priority};
 use crate::pool::{WorkerPool, WorkerSlot};
 use crate::sched::{select_by_policy, SchedKey, SchedulingPolicy};
@@ -173,12 +178,12 @@ impl<V: Copy> Mailbox<V> {
 /// Shared state of one parallel run. (One instance per `run` call; the
 /// *threads* that drive it come either from per-run scoped spawns or from a
 /// persistent [`crate::pool::WorkerPool`] — see [`run_parallel`].)
-struct RunState<'e, 'g, K: FppKernel> {
+struct RunState<'e, 'g, D: KernelDriver> {
     engine: &'e ForkGraphEngine<'g>,
-    kernel: &'e K,
+    driver: &'e D,
     graph: &'e CsrGraph,
-    mailboxes: Vec<Mailbox<K::Value>>,
-    states: Vec<Mutex<K::State>>,
+    mailboxes: Vec<Mailbox<D::Value>>,
+    states: Vec<Mutex<D::State>>,
     /// Per-worker runnable sets; a partition id appears in at most one set.
     queues: Vec<Mutex<Vec<PartitionId>>>,
     /// Partition → home worker (footprint-balanced affinity hints).
@@ -202,9 +207,9 @@ struct RunState<'e, 'g, K: FppKernel> {
 
 /// Sets `done` and wakes every parked worker if its worker panics, so a
 /// kernel panic fails the run instead of deadlocking the worker crew.
-struct PanicReaper<'p, 'e, 'g, K: FppKernel>(&'p RunState<'e, 'g, K>);
+struct PanicReaper<'p, 'e, 'g, D: KernelDriver>(&'p RunState<'e, 'g, D>);
 
-impl<K: FppKernel> Drop for PanicReaper<'_, '_, '_, K> {
+impl<D: KernelDriver> Drop for PanicReaper<'_, '_, '_, D> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.done.store(true, Ordering::SeqCst);
@@ -213,11 +218,11 @@ impl<K: FppKernel> Drop for PanicReaper<'_, '_, '_, K> {
     }
 }
 
-impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
+impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
     /// Post `op` to partition `p`'s mailbox from worker `stripe` and make the
     /// partition runnable. The in-flight increment happens *before* the op is
     /// visible so the termination counter can never under-count.
-    fn post(&self, stripe: usize, p: usize, op: Operation<K::Value>) {
+    fn post(&self, stripe: usize, p: usize, op: Operation<D::Value>) {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.mailboxes[p].push(stripe, op);
         self.counters.add_buffered(1);
@@ -309,7 +314,7 @@ impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
         w: usize,
         p: usize,
         stats: &mut WorkerSnapshot,
-        scratch: &mut PartitionBuffer<K::Value>,
+        scratch: &mut PartitionBuffer<D::Value>,
     ) {
         let mailbox = &self.mailboxes[p];
         mailbox.state.store(RUNNING, Ordering::Release);
@@ -321,7 +326,7 @@ impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
             stats.visits += 1;
             stats.operations += drained_count as u64;
             let config = self.engine.config();
-            let groups: Vec<(u32, Vec<Operation<K::Value>>)> = if config.consolidate {
+            let groups: Vec<(u32, Vec<Operation<D::Value>>)> = if config.consolidate {
                 scratch.push_batch(drained);
                 scratch.drain_consolidated(config.consolidation_method)
             } else {
@@ -333,8 +338,8 @@ impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
             for (q, ops) in groups {
                 let outcome = {
                     let mut state = self.states[q as usize].lock();
-                    self.engine.process_query_visit(
-                        self.kernel,
+                    self.driver.process_visit(
+                        self.engine,
                         self.graph,
                         partition_id,
                         q,
@@ -391,7 +396,7 @@ impl<'e, 'g, K: FppKernel> RunState<'e, 'g, K> {
         &self,
         w: usize,
         seed: u64,
-        scratch: &mut PartitionBuffer<K::Value>,
+        scratch: &mut PartitionBuffer<D::Value>,
     ) -> WorkerSnapshot {
         let _reaper = PanicReaper(self);
         let mut stats = WorkerSnapshot { worker: w as u32, ..Default::default() };
@@ -433,13 +438,13 @@ fn worker_seed(policy_seed: u64, w: usize) -> u64 {
 /// kept for the executor-mode test matrix and as the bench baseline. With a
 /// [`WorkerPool`] the run is dispatched onto the persistent crew and its
 /// per-run storage is recycled through the pool's arena.
-pub(crate) fn run_parallel<K: FppKernel>(
+pub(crate) fn run_parallel<D: KernelDriver>(
     engine: &ForkGraphEngine<'_>,
-    kernel: &K,
+    driver: &D,
     sources: &[VertexId],
     num_workers: usize,
     pool: Option<&Arc<WorkerPool>>,
-) -> ForkGraphRunResult<K::State> {
+) -> ForkGraphRunResult<D::State> {
     let pg = engine.partitioned_graph();
     let config = *engine.config();
     let num_partitions = pg.num_partitions();
@@ -457,18 +462,20 @@ pub(crate) fn run_parallel<K: FppKernel>(
         _ => 0,
     };
     let (mailboxes, queues) = match pool {
-        Some(pool) => pool.take_run_storage::<K::Value>(num_partitions, num_workers),
+        Some(pool) => pool.take_run_storage::<D::Value>(num_partitions, num_workers),
         None => (
             (0..num_partitions).map(|_| Mailbox::new(num_workers)).collect(),
             (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
         ),
     };
-    let run: RunState<'_, '_, K> = RunState {
+    let run: RunState<'_, '_, D> = RunState {
         engine,
-        kernel,
+        driver,
         graph: pg.graph(),
         mailboxes,
-        states: (0..num_queries).map(|_| Mutex::new(kernel.init_state(pg.graph()))).collect(),
+        states: (0..num_queries)
+            .map(|q| Mutex::new(driver.init_state(pg.graph(), q as u32)))
+            .collect(),
         queues,
         affinity: pg.worker_affinity(num_workers),
         policy: config.scheduling,
@@ -486,7 +493,7 @@ pub(crate) fn run_parallel<K: FppKernel>(
 
     // InitBuffers(P, Q): seed every query at its source.
     for (q, &source) in sources.iter().enumerate() {
-        let (value, priority) = kernel.source_op(source);
+        let (value, priority) = driver.source_op(q as u32, source);
         let p = pg.partition_of(source) as usize;
         run.post(0, p, Operation::new(q as u32, source, value, priority));
     }
@@ -497,7 +504,7 @@ pub(crate) fn run_parallel<K: FppKernel>(
             let run_ref = &run;
             let pool_counters = pool.counters();
             let job = |w: usize, slot: &mut WorkerSlot| {
-                let scratch = slot.scratch_buffer::<K::Value>(config.num_buckets, pool_counters);
+                let scratch = slot.scratch_buffer::<D::Value>(config.num_buckets, pool_counters);
                 let stats = run_ref.worker_loop(w, worker_seed(policy_seed, w), scratch);
                 snapshots.lock().push(stats);
             };
@@ -510,7 +517,7 @@ pub(crate) fn run_parallel<K: FppKernel>(
                     let run = &run;
                     let seed = worker_seed(policy_seed, w);
                     scope.spawn(move || {
-                        let mut scratch: PartitionBuffer<K::Value> =
+                        let mut scratch: PartitionBuffer<D::Value> =
                             PartitionBuffer::new(run.engine.config().num_buckets);
                         run.worker_loop(w, seed, &mut scratch)
                     })
@@ -527,7 +534,7 @@ pub(crate) fn run_parallel<K: FppKernel>(
     if let Some(pool) = pool {
         pool.store_run_storage(mailboxes, queues);
     }
-    let per_query: Vec<K::State> = states.into_iter().map(|m| m.into_inner()).collect();
+    let per_query: Vec<D::State> = states.into_iter().map(|m| m.into_inner()).collect();
     let mut measurement =
         engine.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
     measurement.work.workers = worker_stats;

@@ -69,3 +69,66 @@ pub trait FppKernel: Sync {
         1.0
     }
 }
+
+/// What one engine run actually executes: the seam between the run pipeline
+/// (buffers, scheduling, executors) and the kernel code one partition visit
+/// drives.
+///
+/// The pipeline used to be generic over [`FppKernel`] directly, which welds
+/// "one run" to "one kernel". A driver generalises the contract to "one run,
+/// one *value type*, per-**query** kernel dispatch", at **visit
+/// granularity**: the unit a driver executes is one query's whole
+/// consolidated operation group within one partition visit
+/// ([`KernelDriver::process_visit`]), not one operation. Visit granularity
+/// is what keeps heterogeneous runs fast — the erased payload of a mixed
+/// run is converted to the kernel's native operations once per visit, and
+/// the hot intra-visit loop (priority heap, yield checks, per-edge
+/// relaxation) always runs monomorphized, never behind a per-operation
+/// virtual call.
+///
+/// * [`crate::engine::SingleDriver`] wraps one `&K` and ignores the query
+///   index — the monomorphized single-kernel run, compiled to exactly the
+///   code the pre-driver pipeline produced (inlined forwards to
+///   [`crate::engine::ForkGraphEngine::process_query_visit`]).
+/// * [`crate::multi::MultiDriver`] maps each query to its group's
+///   type-erased [`crate::dynkernel::DynKernel`] and carries
+///   inline erased payloads ([`crate::operation::MultiValue8`] /
+///   [`crate::operation::MultiValue16`]) between visits — the
+///   heterogeneous multi-kernel run behind
+///   [`crate::engine::ForkGraphEngine::run_multi`].
+///
+/// `pub(crate)`: drivers are an engine-internal seam, not an extension
+/// point — external code extends the system through [`FppKernel`] and
+/// [`crate::dynkernel::DynKernel`].
+pub(crate) trait KernelDriver: Sync {
+    /// Payload carried by this run's operations (all groups share it).
+    type Value: Copy + Send + Sync + 'static;
+    /// Per-query state; `per_query[q]` of the run result.
+    type State: Send;
+
+    /// Allocate query `query`'s initial state.
+    fn init_state(&self, graph: &CsrGraph, query: u32) -> Self::State;
+
+    /// The operation seeding `query` at its source vertex.
+    fn source_op(&self, query: u32, source: VertexId) -> (Self::Value, Priority);
+
+    /// Process query `query`'s consolidated operations within one partition
+    /// visit; see
+    /// [`crate::engine::ForkGraphEngine::process_query_visit`] for the visit
+    /// contract (ordering, yielding, and the returned leftover/remote
+    /// routing).
+    #[allow(clippy::too_many_arguments)]
+    fn process_visit(
+        &self,
+        engine: &crate::engine::ForkGraphEngine<'_>,
+        graph: &CsrGraph,
+        partition: fg_graph::partition::PartitionId,
+        query: u32,
+        ops: Vec<crate::operation::Operation<Self::Value>>,
+        state: &mut Self::State,
+        partition_edges: u64,
+        num_queries: usize,
+        tracer: &fg_cachesim::GraphAccessTracer,
+        counters: &fg_metrics::WorkCounters,
+    ) -> crate::engine::VisitOutcome<Self::Value>;
+}

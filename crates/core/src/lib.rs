@@ -31,6 +31,14 @@
 //!    between runs, per-run storage recycled); per-run scoped spawning
 //!    remains available as [`engine::ExecutorMode::Spawn`].
 //!
+//! 6. [`engine::ForkGraphEngine::run_multi`] generalises a run to a
+//!    **heterogeneous** set of kernel groups: mixed-kernel operations share
+//!    the partition buffers and mailboxes as inline type-erased
+//!    [`operation::MultiValue8`]/[`operation::MultiValue16`] payloads, so
+//!    concurrent cohorts of
+//!    *different* query types amortise one shared partition pass instead of
+//!    sweeping the graph once each ([`multi`]).
+//!
 //! Built-in kernels cover the query types of the paper: SSSP, BFS, DFS, PPR,
 //! and random walks ([`kernels`]). Applications (BC, NCP, LL) live in the
 //! `fg-apps` crate.
@@ -41,16 +49,18 @@ pub mod engine;
 pub mod executor;
 pub mod kernel;
 pub mod kernels;
+pub mod multi;
 pub mod operation;
 pub mod pool;
 pub mod sched;
 pub mod yield_policy;
 
 pub use buffer::PartitionBuffer;
-pub use dynkernel::{erase, DynKernel, ErasedState};
+pub use dynkernel::{erase, DynKernel, ErasedState, MultiHooks, MultiKernelHooks};
 pub use engine::{AblationLevel, EngineConfig, ExecutorMode, ForkGraphEngine, ForkGraphRunResult};
 pub use kernel::FppKernel;
-pub use operation::{Operation, Priority};
+pub use multi::MultiRunResult;
+pub use operation::{ErasedPayload, MultiValue16, MultiValue8, Operation, Priority};
 pub use pool::WorkerPool;
 pub use sched::{SchedKey, SchedulingPolicy};
 pub use yield_policy::YieldPolicy;

@@ -1,0 +1,69 @@
+//! Shared test-only kernel: a weighted k-hop distance table
+//! (`state[v * (k+1) + h]` = best distance to `v` over ≤ `h` edges).
+//!
+//! A monotone min-relaxation over the (vertex, hop) product graph, so every
+//! schedule — solo or mixed, serial or parallel — reaches the same
+//! fixpoint; its `(Dist, u32)` value exercises a composite (16-byte)
+//! payload through the erased multi-kernel path, and its *distance*
+//! priorities align its frontier wave with SSSP's. Used by
+//! `multi_equivalence.rs` and `multi_cachesim.rs` (the service-level twin
+//! in `fg-service`'s tests is deliberately file-local there — it doubles as
+//! proof that a kernel defined entirely outside workspace `src/` serves
+//! end-to-end).
+
+use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use forkgraph_core::operation::Priority;
+use forkgraph_core::FppKernel;
+
+pub struct KHopKernel {
+    pub k: u32,
+}
+
+impl FppKernel for KHopKernel {
+    type Value = (Dist, u32);
+    type State = Vec<Dist>;
+
+    fn name(&self) -> &'static str {
+        "khop-test"
+    }
+
+    fn init_state(&self, graph: &CsrGraph) -> Self::State {
+        vec![INF_DIST; graph.num_vertices() * (self.k as usize + 1)]
+    }
+
+    fn source_op(&self, _source: VertexId) -> (Self::Value, Priority) {
+        ((0, 0), 0)
+    }
+
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        state: &mut Self::State,
+        vertex: VertexId,
+        (dist, hops): Self::Value,
+        emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
+    ) -> u64 {
+        let stride = self.k as usize + 1;
+        let base = vertex as usize * stride;
+        if dist >= state[base + hops as usize] {
+            return 0;
+        }
+        for h in hops as usize..stride {
+            if dist < state[base + h] {
+                state[base + h] = dist;
+            }
+        }
+        if hops == self.k {
+            return 0;
+        }
+        let mut edges = 0u64;
+        for (t, w) in graph.out_edges(vertex) {
+            edges += 1;
+            let nd = dist + w as Dist;
+            if nd < state[t as usize * stride + hops as usize + 1] {
+                emit(t, (nd, hops + 1), nd);
+            }
+        }
+        edges
+    }
+}

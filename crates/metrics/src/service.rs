@@ -33,11 +33,14 @@ pub struct BatchRecord {
     pub batch_size: u32,
     /// Engine worker threads chosen for the batch's run.
     pub workers: u32,
-    /// Identity of the kernel registration the batch ran (`0` when the
-    /// serving layer predates kernel ids or did not report one). Lets
-    /// operators audit batch formation in mixed-kernel traffic: records
-    /// with different ids can never have shared a cohort.
+    /// Identity of the kernel registration the batch ran — for a
+    /// multi-kernel run, the *first* (oldest) cohort's registration (`0`
+    /// when the serving layer predates kernel ids or did not report one).
     pub kernel_id: u64,
+    /// Number of distinct kernel cohorts the run carried. `1` is a classic
+    /// single-kernel batch; `>= 2` means heterogeneous cohorts shared one
+    /// partition pass (`run_multi`) — the cross-kernel consolidation win.
+    pub kernels_in_run: u32,
 }
 
 /// Live counters of a running service. Shared between the submit path, the
@@ -66,6 +69,8 @@ pub struct ServiceCounters {
     pub max_queue_depth: AtomicU64,
     /// Largest worker count any dispatched batch ran with.
     pub max_batch_workers: AtomicU64,
+    /// Dispatched runs that consolidated ≥ 2 distinct kernel cohorts.
+    pub mixed_runs: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
     latency_count: AtomicU64,
     /// Ring of recent per-batch sizing decisions (bounded).
@@ -113,11 +118,25 @@ impl ServiceCounters {
     }
 
     /// Record the worker count the adaptive sizing policy chose for one
-    /// dispatched batch of `batch_size` queries of kernel `kernel_id`.
-    pub fn on_batch_workers(&self, batch_size: usize, workers: usize, kernel_id: u64) {
+    /// dispatched run of `batch_size` queries across `kernels_in_run`
+    /// cohorts, led by kernel `kernel_id`.
+    pub fn on_batch_workers(
+        &self,
+        batch_size: usize,
+        workers: usize,
+        kernel_id: u64,
+        kernels_in_run: usize,
+    ) {
         self.max_batch_workers.fetch_max(workers as u64, Ordering::Relaxed);
-        let record =
-            BatchRecord { batch_size: batch_size as u32, workers: workers as u32, kernel_id };
+        if kernels_in_run >= 2 {
+            self.mixed_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        let record = BatchRecord {
+            batch_size: batch_size as u32,
+            workers: workers as u32,
+            kernel_id,
+            kernels_in_run: kernels_in_run as u32,
+        };
         let n = self.batch_record_count.fetch_add(1, Ordering::Relaxed) as usize;
         let mut ring = self.batch_records.lock().unwrap_or_else(|p| p.into_inner());
         if ring.len() < BATCH_RECORD_RING {
@@ -174,6 +193,7 @@ impl ServiceCounters {
             queries_batched: self.queries_batched.load(Ordering::Relaxed),
             max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
             max_batch_workers: self.max_batch_workers.load(Ordering::Relaxed),
+            mixed_runs: self.mixed_runs.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             latency_p50: percentile(0.50),
@@ -196,6 +216,9 @@ pub struct ServiceSnapshot {
     pub max_batch_occupancy: u64,
     /// Largest engine worker count any batch ran with (adaptive sizing).
     pub max_batch_workers: u64,
+    /// Dispatched runs that carried ≥ 2 distinct kernel cohorts
+    /// (heterogeneous `run_multi` consolidation).
+    pub mixed_runs: u64,
     pub queue_depth: u64,
     pub max_queue_depth: u64,
     /// Median submit→result latency over the retained reservoir.
@@ -213,6 +236,18 @@ impl ServiceSnapshot {
             0.0
         } else {
             self.queries_batched as f64 / self.batches_dispatched as f64
+        }
+    }
+
+    /// Fraction of dispatched runs that consolidated ≥ 2 distinct kernel
+    /// cohorts into one shared partition pass, in `[0, 1]`. The
+    /// cross-kernel amortisation rate: `0.0` means every run was a classic
+    /// single-kernel batch.
+    pub fn mixed_run_rate(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.mixed_runs as f64 / self.batches_dispatched as f64
         }
     }
 
@@ -284,17 +319,39 @@ mod tests {
     #[test]
     fn batch_records_are_retained_and_bounded() {
         let c = ServiceCounters::new();
-        c.on_batch_workers(2, 1, 1);
-        c.on_batch_workers(64, 8, 17);
+        c.on_batch_workers(2, 1, 1, 1);
+        c.on_batch_workers(64, 8, 17, 3);
         let records = c.batch_records();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0], BatchRecord { batch_size: 2, workers: 1, kernel_id: 1 });
-        assert_eq!(records[1], BatchRecord { batch_size: 64, workers: 8, kernel_id: 17 });
+        assert_eq!(
+            records[0],
+            BatchRecord { batch_size: 2, workers: 1, kernel_id: 1, kernels_in_run: 1 }
+        );
+        assert_eq!(
+            records[1],
+            BatchRecord { batch_size: 64, workers: 8, kernel_id: 17, kernels_in_run: 3 }
+        );
         assert_eq!(c.snapshot().max_batch_workers, 8);
         for _ in 0..2 * BATCH_RECORD_RING {
-            c.on_batch_workers(4, 2, 1);
+            c.on_batch_workers(4, 2, 1, 1);
         }
         assert_eq!(c.batch_records().len(), BATCH_RECORD_RING);
+    }
+
+    #[test]
+    fn mixed_run_rate_counts_multi_cohort_runs() {
+        let c = ServiceCounters::new();
+        assert_eq!(c.snapshot().mixed_run_rate(), 0.0, "no runs yet");
+        c.on_batch(3, 0);
+        c.on_batch_workers(3, 2, 1, 1);
+        c.on_batch(5, 0);
+        c.on_batch_workers(5, 2, 1, 2);
+        c.on_batch(6, 0);
+        c.on_batch_workers(6, 4, 9, 3);
+        let s = c.snapshot();
+        assert_eq!(s.mixed_runs, 2);
+        assert_eq!(s.batches_dispatched, 3);
+        assert!((s.mixed_run_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

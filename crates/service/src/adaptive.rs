@@ -40,8 +40,7 @@ pub fn effective_workers(batch_size: usize, num_partitions: usize, max_workers: 
     batch_size.div_ceil(QUERIES_PER_WORKER).clamp(1, max_workers.min(num_partitions))
 }
 
-/// Kernel-weighted [`effective_workers`]: the registry era's sizing entry
-/// point.
+/// Kernel-weighted [`effective_workers`] for a single-kernel batch.
 ///
 /// `weight` is the cohort kernel's declared relative per-query work
 /// ([`forkgraph_core::FppKernel::batch_weight`], surfaced through
@@ -58,12 +57,36 @@ pub fn effective_workers_weighted(
     max_workers: usize,
     weight: f64,
 ) -> usize {
-    let weight = if weight.is_finite() && weight > 0.0 { weight } else { 1.0 };
+    effective_workers_mixed(&[(batch_size, weight)], num_partitions, max_workers)
+}
+
+/// Sizing for a **heterogeneous** run (`run_multi`): `groups` is one
+/// `(cohort size, kernel batch_weight)` pair per kernel cohort sharing the
+/// pass, and the offered load the base policy sees is the *sum* of
+/// `size × weight` over all of them — a mixed batch of 4 heavy (weight 2.0)
+/// and 8 light (weight 0.5) queries offers `4×2 + 8×0.5 = 12` load, not 12
+/// raw queries. A single-element slice is exactly
+/// [`effective_workers_weighted`]; weight sanitisation (non-finite /
+/// non-positive → `1.0`) applies per group, and the caps of the base policy
+/// are obeyed unchanged.
+pub fn effective_workers_mixed(
+    groups: &[(usize, f64)],
+    num_partitions: usize,
+    max_workers: usize,
+) -> usize {
+    let total: usize = groups.iter().map(|&(size, _)| size).sum();
+    let offered: f64 = groups
+        .iter()
+        .map(|&(size, weight)| {
+            let weight = if weight.is_finite() && weight > 0.0 { weight } else { 1.0 };
+            size as f64 * weight
+        })
+        .sum();
     // Ceil keeps any non-empty batch non-empty, so the degenerate-case
     // handling stays entirely in the base policy.
-    let weighted = ((batch_size as f64) * weight).ceil();
-    let weighted = if weighted >= usize::MAX as f64 { usize::MAX } else { weighted as usize };
-    effective_workers(weighted.max(usize::from(batch_size > 0)), num_partitions, max_workers)
+    let offered = offered.ceil();
+    let offered = if offered >= usize::MAX as f64 { usize::MAX } else { offered as usize };
+    effective_workers(offered.max(usize::from(total > 0)), num_partitions, max_workers)
 }
 
 #[cfg(test)]
@@ -130,6 +153,50 @@ mod tests {
         assert_eq!(effective_workers_weighted(6, 24, 8, 1e300), 8);
         // An empty batch stays serial regardless of weight.
         assert_eq!(effective_workers_weighted(0, 24, 8, 100.0), 1);
+    }
+
+    #[test]
+    fn mixed_sizing_sums_per_group_offered_load() {
+        // One group degenerates to the weighted single-kernel policy.
+        for batch in 0..50 {
+            for weight in [0.5, 1.0, 2.0] {
+                assert_eq!(
+                    effective_workers_mixed(&[(batch, weight)], 24, 8),
+                    effective_workers_weighted(batch, 24, 8, weight),
+                );
+            }
+        }
+        // Two unit-weight cohorts offer the same load as one merged cohort.
+        assert_eq!(
+            effective_workers_mixed(&[(6, 1.0), (10, 1.0)], 24, 8),
+            effective_workers(16, 24, 8)
+        );
+        // Heterogeneous weights: 4×2.0 + 8×0.5 = 12 offered load — more than
+        // the 8 light queries alone justify, less than 12 heavy ones would.
+        assert_eq!(
+            effective_workers_mixed(&[(4, 2.0), (8, 0.5)], 24, 8),
+            effective_workers(12, 24, 8)
+        );
+        assert!(
+            effective_workers_mixed(&[(4, 2.0), (8, 0.5)], 24, 8)
+                > effective_workers_weighted(8, 24, 8, 0.5)
+        );
+        // A lone heavy cohort joined by a light one can only grow the crew.
+        assert!(
+            effective_workers_mixed(&[(4, 2.0), (8, 0.5)], 24, 8)
+                >= effective_workers_weighted(4, 24, 8, 2.0)
+        );
+        // Per-group weight sanitisation: a NaN-weight group counts at 1.0
+        // instead of poisoning the whole mix.
+        assert_eq!(
+            effective_workers_mixed(&[(6, f64::NAN), (4, 2.0)], 24, 8),
+            effective_workers_mixed(&[(6, 1.0), (4, 2.0)], 24, 8)
+        );
+        // Degenerate mixes stay serial.
+        assert_eq!(effective_workers_mixed(&[], 24, 8), 1);
+        assert_eq!(effective_workers_mixed(&[(0, 1.0), (0, 2.0)], 24, 8), 1);
+        // Fractional loads round up: sub-query offered load still runs.
+        assert_eq!(effective_workers_mixed(&[(1, 0.25)], 24, 8), 1);
     }
 
     /// Property sweep: the policy never exceeds any cap, never returns 0,

@@ -13,11 +13,16 @@
 //! ```text
 //!  clients ──submit──▶ [registry resolve] ─▶ [admission] ─▶ pending queue ─┐
 //!     ▲                      │ typed errors     │ shed when full           │ batch window /
-//!     │ cache hit            ▼                  ▼                          │ size budget
+//!     │ cache hit            │ memoized         ▼                          │ size budget
 //!     └─────────────── [LRU result cache]                                  ▼
 //!                            ▲                                  [micro-batcher thread]
-//!                            │ insert                                      │ one run_dyn
-//!                            └───────────── demux ◀────────────────────────┘ per BatchKey cohort
+//!                            │ insert                                      │ drains ALL ready
+//!                            │                                             │ BatchKey cohorts
+//!                            │                                             ▼
+//!                            │                               one engine pass per drain:
+//!                            │                               run_dyn   (1 cohort)
+//!                            └── demux per (cohort, source) ◀ run_multi (2..=max_kernels
+//!                                                                        per_run cohorts)
 //! ```
 //!
 //! * **Open kernels**: a query names a kernel *registered* in the service's
@@ -35,15 +40,27 @@
 //!   [`Ticket::typed`] for a downcast-checked concrete result. The legacy
 //!   closed-enum API ([`QuerySpec`], [`ServiceHandle::submit`]) remains as
 //!   a thin shim with byte-identical results.
-//! * **Micro-batching**: a dedicated batcher thread accumulates submissions
-//!   for [`ServiceConfig::batch_window`] (or until
-//!   [`ServiceConfig::max_batch_size`]), then dispatches each same-key
-//!   cohort as one consolidated
+//! * **Micro-batching across kernels**: a dedicated batcher thread
+//!   accumulates submissions for [`ServiceConfig::batch_window`] (or until
+//!   [`ServiceConfig::max_batch_size`]), then drains **every ready cohort**
+//!   — up to [`ServiceConfig::max_kernels_per_run`] distinct batch keys —
+//!   into **one** engine pass: a lone cohort runs through
 //!   [`ForkGraphEngine::run_dyn`](forkgraph_core::ForkGraphEngine::run_dyn),
-//!   demultiplexing per-source results back to submitters. Cohorts and
-//!   cache entries are keyed by [`BatchKey`]/[`CacheKey`], derived from the
-//!   *registration* (unique [`KernelId`] + canonical [`QueryParams`]), so
-//!   same-named or re-registered kernels can never alias.
+//!   and heterogeneous cohorts share a single
+//!   [`ForkGraphEngine::run_multi`](forkgraph_core::ForkGraphEngine::run_multi)
+//!   partition pass (an SSSP cohort and a PPR cohort waiting on the same
+//!   graph no longer pay one sweep each — the paper's amortisation, across
+//!   query types). Results demultiplex per `(cohort, source)` back to
+//!   submitters. Cohorts and cache entries are keyed by
+//!   [`BatchKey`]/[`CacheKey`], derived from the *registration* (unique
+//!   [`KernelId`] + canonical [`QueryParams`]), so same-named or
+//!   re-registered kernels can never alias. Observability:
+//!   [`fg_metrics::BatchRecord::kernels_in_run`] and
+//!   [`fg_metrics::ServiceSnapshot::mixed_run_rate`].
+//! * **Memoized resolution**: the registry caches `(registration, params) →
+//!   instantiated kernel`, so steady-state submits never re-run kernel
+//!   factories ([`KernelRegistry`] docs; replaced registrations are
+//!   evicted).
 //! * **Admission control**: the pending queue is bounded
 //!   ([`ServiceConfig::max_queue_depth`]); a saturated service sheds load
 //!   with [`ServiceError::Saturated`] instead of blocking submitters.
@@ -61,7 +78,7 @@ pub mod registry;
 pub mod service;
 pub mod ticket;
 
-pub use adaptive::{effective_workers, effective_workers_weighted};
+pub use adaptive::{effective_workers, effective_workers_mixed, effective_workers_weighted};
 pub use params::{ParamError, ParamValue, QueryParams};
 pub use query::{BatchKey, CacheKey, KernelMismatch, Query, QueryResult, QuerySpec};
 pub use registry::{

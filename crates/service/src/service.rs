@@ -2,14 +2,17 @@
 //!
 //! One background *batcher* thread owns a long-lived [`ForkGraphEngine`] and
 //! repeatedly: waits for pending submissions, lets a batch accumulate for the
-//! configured window (or until the batch-size cap), drains the oldest
-//! submission's [`crate::query::BatchKey`] cohort from the queue, runs it as
-//! a single consolidated **type-erased** engine run
-//! ([`ForkGraphEngine::run_dyn`]), and demultiplexes the per-source results
-//! back to the submitters' tickets. Because dispatch is erased, the batcher
-//! is kernel-agnostic: a kernel registered five minutes ago flows through
-//! micro-batching, the persistent worker pool, and the result cache exactly
-//! like the built-ins.
+//! configured window (or until the batch-size cap), drains **every ready
+//! [`crate::query::BatchKey`] cohort** from the queue (up to
+//! [`ServiceConfig::max_kernels_per_run`] cohorts /
+//! [`ServiceConfig::max_batch_size`] total queries), runs them all as **one**
+//! type-erased engine run — [`ForkGraphEngine::run_dyn`] for a lone cohort,
+//! a heterogeneous [`ForkGraphEngine::run_multi`] shared partition pass when
+//! different kernels are waiting — and demultiplexes the per-`(cohort,
+//! source)` results back to the submitters' tickets. Because dispatch is
+//! erased, the batcher is kernel-agnostic: a kernel registered five minutes
+//! ago flows through micro-batching, the persistent worker pool, cross-kernel
+//! pass sharing, and the result cache exactly like the built-ins.
 //!
 //! The submit path resolves each query against the service's
 //! [`KernelRegistry`] (typed errors for unknown kernels and bad
@@ -53,6 +56,15 @@ pub struct ServiceConfig {
     pub max_queue_depth: usize,
     /// Capacity of the LRU result cache in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Maximum number of *distinct kernel cohorts* one dispatched run may
+    /// consolidate. With `1` the batcher drains exactly one
+    /// [`BatchKey`] cohort per engine run (the pre-multi-kernel behaviour);
+    /// above that, every ready cohort — up to this many, within
+    /// [`Self::max_batch_size`] total queries — shares a single
+    /// heterogeneous partition pass
+    /// ([`ForkGraphEngine::run_multi`]), so an SSSP cohort and a PPR cohort
+    /// waiting on the same graph no longer pay one sweep each.
+    pub max_kernels_per_run: usize,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +74,7 @@ impl Default for ServiceConfig {
             max_batch_size: 64,
             max_queue_depth: 1024,
             cache_capacity: 1024,
+            max_kernels_per_run: 4,
         }
     }
 }
@@ -495,7 +508,7 @@ fn batcher_loop(
     let num_partitions = graph.num_partitions();
     let max_workers = engine_config.resolved_threads();
     loop {
-        let batch = {
+        let cohorts = {
             let mut inner = shared.inner.lock();
 
             // Wait for work (or shutdown with an empty backlog).
@@ -518,39 +531,68 @@ fn batcher_loop(
                 }
             }
 
-            // Drain the oldest submission's cohort: every queued query with
-            // the same batch key, in arrival order, up to the size cap.
-            // Queries with other keys keep their queue position and form the
-            // next batch. Single forward pass (O(queue)) — the lock is held,
+            // Drain every *ready* cohort — each distinct batch key in
+            // arrival order of its oldest member, up to
+            // `max_kernels_per_run` cohorts and `max_batch_size` total
+            // queries — for one shared engine run. Queries that don't fit
+            // keep their queue position and lead the next batch. A kernel
+            // that cannot ride a multi-kernel pass (hand-written
+            // `DynKernel`, or an operation value exceeding the inline
+            // payload) can only run alone: it never joins (and is never
+            // joined by) another cohort. Single forward pass (O(queue ×
+            // cohorts), cohorts ≤ max_kernels_per_run) — the lock is held,
             // so submitters are stalled while this runs.
-            let key = inner.queue.front().expect("queue non-empty").batch_key.clone();
-            let mut batch: Vec<Pending> = Vec::new();
+            let max_cohorts = shared.config.max_kernels_per_run.max(1);
+            let multi_capable = |p: &Pending| p.resolved.kernel.multi().is_some();
+            let mut cohorts: Vec<(BatchKey, Vec<Pending>)> = Vec::new();
+            let mut mixable = true;
+            let mut total = 0usize;
             let mut rest: VecDeque<Pending> = VecDeque::with_capacity(inner.queue.len());
             for pending in inner.queue.drain(..) {
-                if batch.len() < shared.config.max_batch_size && pending.batch_key == key {
-                    batch.push(pending);
-                } else {
-                    rest.push_back(pending);
+                if total < shared.config.max_batch_size {
+                    if let Some((_, members)) =
+                        cohorts.iter_mut().find(|(key, _)| *key == pending.batch_key)
+                    {
+                        members.push(pending);
+                        total += 1;
+                        continue;
+                    }
+                    if cohorts.len() < max_cohorts
+                        && (cohorts.is_empty() || (mixable && multi_capable(&pending)))
+                    {
+                        if cohorts.is_empty() {
+                            mixable = multi_capable(&pending);
+                        }
+                        cohorts.push((pending.batch_key.clone(), vec![pending]));
+                        total += 1;
+                        continue;
+                    }
                 }
+                rest.push_back(pending);
             }
             inner.queue = rest;
-            shared.counters.on_batch(batch.len(), inner.queue.len());
-            batch
+            shared.counters.on_batch(total, inner.queue.len());
+            cohorts
         };
 
-        // Adaptive sizing: pick the worker count for *this* batch from its
-        // size, the partition count, and the cohort kernel's declared
-        // weight (pure policy in `adaptive`), then build a per-batch engine
-        // — cheap (two refs + a config copy) — that dispatches onto the
-        // shared persistent pool when parallel.
-        let cohort = &batch[0].resolved;
-        let workers = adaptive::effective_workers_weighted(
-            batch.len(),
-            num_partitions,
-            max_workers,
-            cohort.kernel.batch_weight(),
+        // Adaptive sizing: pick the worker count for *this* run from the
+        // summed per-cohort offered load (cohort size × its kernel's
+        // declared weight; pure policy in `adaptive`) and the partition
+        // count, then build a per-batch engine — cheap (two refs + a config
+        // copy) — that dispatches onto the shared persistent pool when
+        // parallel.
+        let total: usize = cohorts.iter().map(|(_, members)| members.len()).sum();
+        let loads: Vec<(usize, f64)> = cohorts
+            .iter()
+            .map(|(_, members)| (members.len(), members[0].resolved.kernel.batch_weight()))
+            .collect();
+        let workers = adaptive::effective_workers_mixed(&loads, num_partitions, max_workers);
+        shared.counters.on_batch_workers(
+            total,
+            workers,
+            cohorts[0].1[0].resolved.id.as_u64(),
+            cohorts.len(),
         );
-        shared.counters.on_batch_workers(batch.len(), workers, cohort.id.as_u64());
         let batch_config = engine_config.with_threads(workers);
         let engine = match &pool {
             Some(pool) if workers > 1 => {
@@ -559,59 +601,93 @@ fn batcher_loop(
             _ => ForkGraphEngine::new(&graph, batch_config),
         };
 
-        // One consolidated, type-erased engine run for the whole cohort —
-        // this is where concurrent requests turn into the paper's
+        // One consolidated, type-erased engine run for *all* drained
+        // cohorts — this is where concurrent requests turn into the paper's
         // fork-processing pattern, for built-in and registered kernels
-        // alike. An engine panic must not wedge the service: contain it,
-        // fail the cohort's tickets, and keep serving (submit-time
-        // validation makes this unreachable for the known panic class of
-        // bad sources, but registered kernels are user code).
-        let kernel = Arc::clone(&cohort.kernel);
-        let kernel_id = cohort.id;
-        let kernel_name = Arc::clone(&cohort.name);
-        let state_type = cohort.kernel.state_type_name();
-        let sources: Vec<VertexId> = batch.iter().map(|p| p.source).collect();
-        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run_dyn(&*kernel, &sources).per_query
+        // alike, and (with ≥ 2 cohorts) where different query types start
+        // sharing one partition pass. An engine panic must not wedge the
+        // service: contain it, fail the run's tickets, and keep serving
+        // (submit-time validation makes this unreachable for the known
+        // panic class of bad sources, but registered kernels are user
+        // code).
+        let kernels: Vec<Arc<dyn forkgraph_core::DynKernel>> =
+            cohorts.iter().map(|(_, members)| Arc::clone(&members[0].resolved.kernel)).collect();
+        let per_cohort_sources: Vec<Vec<VertexId>> =
+            cohorts.iter().map(|(_, members)| members.iter().map(|p| p.source).collect()).collect();
+        let per_cohort_states = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if kernels.len() == 1 {
+                // Single cohort: `run_dyn` is the monomorphized special case
+                // of the shared pass.
+                vec![engine.run_dyn(&*kernels[0], &per_cohort_sources[0]).per_query]
+            } else {
+                let groups: Vec<(&dyn forkgraph_core::DynKernel, &[VertexId])> = kernels
+                    .iter()
+                    .zip(&per_cohort_sources)
+                    .map(|(kernel, sources)| (&**kernel, &sources[..]))
+                    .collect();
+                engine.run_multi(&groups).per_group
+            }
         }));
-        let results = match results {
+        let per_cohort_states = match per_cohort_states {
             // `DynKernel` is an open trait: a hand-implemented `run_erased`
             // (bypassing `erase`) could return the wrong number of states.
             // Zipping short would strand the surplus submitters on tickets
-            // that never resolve, so a length mismatch fails the cohort the
-            // same way a kernel panic does — and the batcher keeps serving.
-            Ok(results) if results.len() == batch.len() => results,
+            // that never resolve, so a length mismatch fails the whole run
+            // the same way a kernel panic does — and the batcher keeps
+            // serving.
+            Ok(states)
+                if states.len() == cohorts.len()
+                    && states
+                        .iter()
+                        .zip(&cohorts)
+                        .all(|(s, (_, members))| s.len() == members.len()) =>
+            {
+                states
+            }
             _ => {
-                for pending in batch {
-                    pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                for (_, members) in cohorts {
+                    for pending in members {
+                        pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                    }
                 }
                 continue;
             }
         };
 
         let now = Instant::now();
-        // Don't cache results of a registration that was replaced while this
-        // batch was queued/running: the entries could never be served again
-        // (future resolves yield the new id) and would only squat in the
-        // capacity budget `register_kernel_replacing` just reclaimed. The
-        // liveness check happens *under the cache lock* (which the replace
-        // path's eviction also takes), so a concurrent replacement either
-        // lands before the check — we observe the new id and skip caching —
-        // or its eviction runs after our inserts and removes them; there is
-        // no window for dead-id entries to survive.
-        let mut cache = (shared.config.cache_capacity > 0).then(|| shared.cache.lock());
-        if cache.is_some() && shared.registry.id_of(&kernel_name) != Some(kernel_id) {
-            cache = None;
-        }
-        for (pending, state) in batch.into_iter().zip(results) {
-            let result =
-                Arc::new(QueryResult::new(kernel_id, Arc::clone(&kernel_name), state_type, state));
-            if let Some(cache) = cache.as_mut() {
-                let cache_key = CacheKey { key: pending.batch_key, source: pending.source };
-                cache.insert(cache_key, Arc::clone(&result));
+        for ((_, members), states) in cohorts.into_iter().zip(per_cohort_states) {
+            let resolved = &members[0].resolved;
+            let kernel_id = resolved.id;
+            let kernel_name = Arc::clone(&resolved.name);
+            let state_type = resolved.kernel.state_type_name();
+            // Don't cache results of a registration that was replaced while
+            // this batch was queued/running: the entries could never be
+            // served again (future resolves yield the new id) and would only
+            // squat in the capacity budget `register_kernel_replacing` just
+            // reclaimed. The liveness check happens *under the cache lock*
+            // (which the replace path's eviction also takes), so a
+            // concurrent replacement either lands before the check — we
+            // observe the new id and skip caching — or its eviction runs
+            // after our inserts and removes them; there is no window for
+            // dead-id entries to survive.
+            let mut cache = (shared.config.cache_capacity > 0).then(|| shared.cache.lock());
+            if cache.is_some() && shared.registry.id_of(&kernel_name) != Some(kernel_id) {
+                cache = None;
             }
-            shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
-            pending.slot.fulfil(Ok(result));
+            for (pending, state) in members.into_iter().zip(states) {
+                let result = Arc::new(QueryResult::new(
+                    kernel_id,
+                    Arc::clone(&kernel_name),
+                    state_type,
+                    state,
+                ));
+                if let Some(cache) = cache.as_mut() {
+                    let cache_key = CacheKey { key: pending.batch_key, source: pending.source };
+                    cache.insert(cache_key, Arc::clone(&result));
+                }
+                shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
+                pending.slot.fulfil(Ok(result));
+            }
         }
     }
 

@@ -59,6 +59,11 @@ fn bursty_cohorts_get_correct_results_and_policy_sized_batches() {
             max_batch_size: 64,
             max_queue_depth: 4096,
             cache_capacity: 0, // every query must reach the engine
+            // One cohort per run: this test audits the *per-cohort* sizing
+            // regimes, so singleton BFS batches must not consolidate into
+            // the SSSP bursts (multi-cohort runs are covered by
+            // tests/multi_kernel_service.rs).
+            max_kernels_per_run: 1,
         },
     );
 
@@ -168,6 +173,7 @@ fn shutdown_with_inflight_dispatched_runs_neither_deadlocks_nor_leaks_threads() 
                 max_batch_size: 64,
                 max_queue_depth: 4096,
                 cache_capacity: 0,
+                ..ServiceConfig::default()
             },
         );
         let handle = service.handle();

@@ -274,6 +274,10 @@ impl forkgraph_core::DynKernel for ShortChangedKernel {
         result.per_query.pop(); // contract violation: one state short
         result
     }
+
+    // The multi-run hooks keep their defaults: a hand-written DynKernel is
+    // not multi-capable, so the batcher always runs it in its own
+    // single-kernel pass (through `run_erased` above).
 }
 
 #[test]

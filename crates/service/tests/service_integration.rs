@@ -91,6 +91,7 @@ fn saturated_queue_returns_backpressure_error() {
             max_batch_size: 1024,
             max_queue_depth: 3,
             cache_capacity: 0,
+            ..ServiceConfig::default()
         },
     );
     let handle = service.handle();
@@ -167,6 +168,11 @@ fn mixed_kernels_form_separate_cohorts_with_correct_results() {
         ServiceConfig {
             batch_window: Duration::from_millis(50),
             cache_capacity: 0,
+            // One cohort per run: this test pins the strict-isolation mode
+            // (every kernel gets its own engine pass, so even PPR matches a
+            // direct serial run byte-for-byte). Cross-kernel consolidation
+            // is covered by tests/multi_kernel_service.rs.
+            max_kernels_per_run: 1,
             ..ServiceConfig::default()
         },
     );

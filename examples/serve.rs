@@ -49,6 +49,10 @@ fn main() {
             max_batch_size: 64,
             max_queue_depth: 256,
             cache_capacity: 512,
+            // Let concurrently-waiting SSSP/BFS/PPR cohorts share one engine
+            // pass (`run_multi`) instead of sweeping the partitions once per
+            // kernel.
+            max_kernels_per_run: 4,
         },
     );
 
@@ -121,6 +125,7 @@ fn main() {
 
     let m = service.metrics();
     let pool = service.pool_metrics();
+    let mixed_records = service.batch_records().iter().filter(|r| r.kernels_in_run >= 2).count();
     service.shutdown();
 
     println!("\n=== fg-service metrics after {answered} answered queries ===");
@@ -146,6 +151,13 @@ fn main() {
     println!("queue depth          : max {}", m.max_queue_depth);
     println!("latency              : p50 {:.2?}, p99 {:.2?}", m.latency_p50, m.latency_p99);
     println!("adaptive workers     : max {} per batch", m.max_batch_workers);
+    println!(
+        "mixed runs           : {} of {} ({:.0}% cross-kernel pass sharing, \
+         {mixed_records} records with kernels_in_run >= 2)",
+        m.mixed_runs,
+        m.batches_dispatched,
+        m.mixed_run_rate() * 100.0
+    );
     if let Some(p) = pool {
         println!(
             "worker pool          : {} threads spawned, {} dispatches, \
