@@ -250,6 +250,43 @@ pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
         );
     }
 
+    // Tracing-disabled overhead: the fg-trace promise is that an *attached
+    // but disabled* sink costs one predicted branch per would-be event, so
+    // services can keep a sink wired permanently and flip it on only when
+    // debugging. Gate that promise: serial SSSP through an engine with a
+    // disabled sink versus one with no sink at all, interleaved (like the
+    // mixed-run pair above) so clock drift cannot bias the ratio.
+    let traced_sink = fg_trace::TraceSink::new();
+    traced_sink.set_enabled(false);
+    let traced_engine = ForkGraphEngine::new(&pg, EngineConfig::default())
+        .with_trace_sink(std::sync::Arc::clone(&traced_sink));
+    let mut best_untraced_secs = f64::INFINITY;
+    let mut best_traced_off_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        direct_engine.run_sssp(&sources);
+        best_untraced_secs = best_untraced_secs.min(start.elapsed().as_secs_f64());
+        let start = std::time::Instant::now();
+        traced_engine.run_sssp(&sources);
+        best_traced_off_secs = best_traced_off_secs.min(start.elapsed().as_secs_f64());
+    }
+    let untraced = scale.queries as f64 / best_untraced_secs;
+    let traced_off = scale.queries as f64 / best_traced_off_secs;
+    report.push("sssp_traced_off_qps", traced_off);
+    report.push("traced_off_vs_untraced", traced_off / untraced);
+    table.push_row([
+        "sssp, disabled trace sink".to_string(),
+        format!("{traced_off:.1}"),
+        "-".to_string(),
+    ]);
+    if traced_off < untraced * 0.98 {
+        eprintln!(
+            "[smoke] WARNING: sssp with a disabled trace sink runs at {traced_off:.1} qps, \
+             more than 2% below the untraced {untraced:.1} qps — the disabled-tracing fast \
+             path is no longer one branch (gate: traced_off_vs_untraced >= 0.98)"
+        );
+    }
+
     // Machine-normalised scaling ratios: parallel-vs-serial on the *same*
     // host. Unlike raw qps these survive runner-hardware changes, so the
     // regression gate catches "the executor silently serialised" even when
@@ -419,6 +456,8 @@ mod tests {
         assert!(outcome.report.get("custom_khop_qps").unwrap() > 0.0);
         assert!(outcome.report.get("mixed2_qps").unwrap() > 0.0);
         assert!(outcome.report.get("mixed2_vs_sequential").unwrap() > 0.0);
+        assert!(outcome.report.get("sssp_traced_off_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("traced_off_vs_untraced").unwrap() > 0.0);
         let json = outcome.report.to_json();
         let back = PerfReport::from_json(&json).unwrap();
         assert_eq!(back, report_rounded(&outcome.report));

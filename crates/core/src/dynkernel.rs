@@ -188,10 +188,11 @@ where
         engine: &ForkGraphEngine<'_>,
         sources: &[VertexId],
     ) -> ForkGraphRunResult<ErasedState> {
-        let ForkGraphRunResult { per_query, measurement } = engine.run(&self.0, sources);
+        let ForkGraphRunResult { per_query, measurement, profile } = engine.run(&self.0, sources);
         ForkGraphRunResult {
             per_query: per_query.into_iter().map(|state| Arc::new(state) as ErasedState).collect(),
             measurement,
+            profile,
         }
     }
 

@@ -27,6 +27,7 @@ use fg_metrics::{
 };
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
+use fg_trace::{EventKind, Histogram, RunProfile, TraceSink};
 
 use crate::buffer::{ConsolidationMethod, PartitionBuffer};
 use crate::kernel::{FppKernel, KernelDriver};
@@ -149,6 +150,12 @@ pub struct EngineConfig {
     /// resolves to [`ExecutorMode::from_env`] — or to [`ExecutorMode::Pool`]
     /// when a pool was attached with [`ForkGraphEngine::with_pool`].
     pub executor: Option<ExecutorMode>,
+    /// Attach a [`RunProfile`] (per-phase wall time, visit/steal histograms)
+    /// to each run result. Independent of event tracing — profiles are
+    /// computed from counters the run keeps anyway, so they work with no
+    /// [`TraceSink`] attached. Off by default: the histogram updates cost a
+    /// few relaxed atomic ops per partition visit.
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +169,7 @@ impl Default for EngineConfig {
             cache: None,
             num_threads: 1,
             executor: None,
+            profile: false,
         }
     }
 }
@@ -224,6 +232,13 @@ impl EngineConfig {
         self
     }
 
+    /// Attach a [`RunProfile`] to each run result (see
+    /// [`EngineConfig::profile`]).
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Worker threads this configuration resolves to on this machine.
     pub fn resolved_threads(&self) -> usize {
         if self.num_threads == 0 {
@@ -249,6 +264,9 @@ pub struct ForkGraphRunResult<S> {
     pub per_query: Vec<S>,
     /// Timing, work, cache, and memory measurement of the batch.
     pub measurement: Measurement,
+    /// Per-run profile (phase wall times, visit/steal histograms); present
+    /// iff [`EngineConfig::profile`] was set.
+    pub profile: Option<RunProfile>,
 }
 
 impl<S> ForkGraphRunResult<S> {
@@ -371,12 +389,15 @@ pub struct ForkGraphEngine<'g> {
     /// [`Self::with_pool`] (a crew shared across engines, e.g. fg-service's),
     /// or lazily created — once — on the first pool-mode parallel run.
     pool: OnceLock<Arc<WorkerPool>>,
+    /// Structured-event sink; `None` (the default) costs one predictable
+    /// branch per instrumentation site.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl<'g> ForkGraphEngine<'g> {
     /// Create an engine over `pg` with the given configuration.
     pub fn new(pg: &'g PartitionedGraph, config: EngineConfig) -> Self {
-        ForkGraphEngine { pg, config, pool: OnceLock::new() }
+        ForkGraphEngine { pg, config, pool: OnceLock::new(), trace: None }
     }
 
     /// Create an engine that runs pool-mode parallel batches on an existing
@@ -391,6 +412,42 @@ impl<'g> ForkGraphEngine<'g> {
         let engine = ForkGraphEngine::new(pg, config);
         engine.pool.set(pool).expect("fresh OnceLock");
         engine
+    }
+
+    /// Attach a structured-event [`TraceSink`]: every run through this
+    /// engine emits schedule-level events (run/visit spans, claims, steals,
+    /// drains, yields) onto the sink's per-thread rings. The sink is also
+    /// attached to the engine's worker pool (current or lazily created
+    /// later) so pool-side events — dispatches, storage recycling,
+    /// park/unpark — land in the same stream.
+    pub fn with_trace_sink(mut self, sink: Arc<TraceSink>) -> Self {
+        if let Some(pool) = self.pool.get() {
+            pool.attach_trace(Arc::clone(&sink));
+        }
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    /// Emit one trace event — the `None` check *is* the disabled fast path.
+    #[inline]
+    pub(crate) fn emit_trace(&self, kind: EventKind, a: u32, b: u32, c: u32) {
+        if let Some(trace) = &self.trace {
+            trace.emit(kind, a, b, c);
+        }
+    }
+
+    /// Whether a sink is attached *and currently recording*. Hot loops use
+    /// this to skip computing event payloads (not just the emit itself) for
+    /// detached or disabled sinks, keeping the disabled cost at one relaxed
+    /// load per site.
+    #[inline]
+    pub(crate) fn trace_active(&self) -> bool {
+        self.trace.as_ref().is_some_and(|trace| trace.is_enabled())
     }
 
     /// The engine configuration.
@@ -446,10 +503,14 @@ impl<'g> ForkGraphEngine<'g> {
         {
             let pool = match mode {
                 ExecutorMode::Pool => Some(self.pool.get_or_init(|| {
-                    Arc::new(WorkerPool::new(crate::pool::crew_size(
+                    let pool = Arc::new(WorkerPool::new(crate::pool::crew_size(
                         workers,
                         self.pg.num_partitions(),
-                    )))
+                    )));
+                    if let Some(trace) = &self.trace {
+                        pool.attach_trace(Arc::clone(trace));
+                    }
+                    pool
                 })),
                 _ => None,
             };
@@ -464,6 +525,9 @@ impl<'g> ForkGraphEngine<'g> {
         };
         let counters = WorkCounters::new();
         let watch = Stopwatch::start();
+        self.emit_trace(EventKind::RunBegin, num_queries as u32, 1, 1);
+        let profiling = self.config.profile;
+        let mut visit_ops = Histogram::default();
 
         let mut buffers: Vec<PartitionBuffer<D::Value>> =
             (0..num_partitions).map(|_| PartitionBuffer::new(self.config.num_buckets)).collect();
@@ -481,6 +545,7 @@ impl<'g> ForkGraphEngine<'g> {
             buffers[p].push(Operation::new(q as u32, source, value, priority));
             counters.add_buffered(1);
         }
+        let init_done = watch.elapsed();
 
         // Main loop: schedule a partition, drain and process its buffer.
         while let Some(p) = scheduler.next(&buffers) {
@@ -493,6 +558,18 @@ impl<'g> ForkGraphEngine<'g> {
             } else {
                 group_preserving_order(buffers[p_usize].drain_unconsolidated())
             };
+            if profiling || self.trace_active() {
+                let total_ops: u64 = groups.iter().map(|(_, ops)| ops.len() as u64).sum();
+                if profiling {
+                    visit_ops.record(total_ops);
+                }
+                self.emit_trace(
+                    EventKind::PartitionVisitBegin,
+                    p,
+                    total_ops.min(u32::MAX as u64) as u32,
+                    groups.len() as u32,
+                );
+            }
 
             // parallel_for_each query q in the partition's buffer.
             let outcomes: Vec<VisitOutcome<D::Value>> = if groups.len() > 1 {
@@ -555,12 +632,31 @@ impl<'g> ForkGraphEngine<'g> {
                     counters.add_buffered(1);
                 }
             }
+            self.emit_trace(EventKind::PartitionVisitEnd, p, 0, 0);
         }
+        let main_done = watch.elapsed();
 
         counters.add_queries_completed(num_queries as u64);
         let per_query: Vec<D::State> = states.into_iter().map(|m| m.into_inner()).collect();
         let measurement = self.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
-        ForkGraphRunResult { per_query, measurement }
+        self.emit_trace(EventKind::RunEnd, num_queries as u32, 1, 1);
+        let profile = profiling.then(|| {
+            let work = &measurement.work;
+            RunProfile {
+                phases: fg_trace::PhaseTimes {
+                    init: init_done,
+                    processing: main_done.saturating_sub(init_done),
+                    finalize: measurement.wall_time.saturating_sub(main_done),
+                },
+                workers: 1,
+                partition_visits: work.partition_visits,
+                visit_ops,
+                steals_per_worker: Histogram::default(),
+                steals: work.steals,
+                yields: work.yields,
+            }
+        });
+        ForkGraphRunResult { per_query, measurement, profile }
     }
 
     /// Assemble the [`Measurement`] of one run; shared between the serial loop
@@ -640,6 +736,7 @@ impl<'g> ForkGraphEngine<'g> {
             if checker.should_yield(op.priority) {
                 yielded = true;
                 counters.add_yield();
+                self.emit_trace(EventKind::Yield, query, partition, 0);
                 leftover.push(op);
                 continue;
             }

@@ -79,6 +79,7 @@ use fg_cachesim::GraphAccessTracer;
 use fg_graph::partition::PartitionId;
 use fg_graph::{CsrGraph, VertexId};
 use fg_metrics::{Stopwatch, WorkCounters, WorkerSnapshot};
+use fg_trace::{AtomicHistogram, EventKind, Histogram, PhaseTimes, RunProfile};
 
 use crate::buffer::PartitionBuffer;
 use crate::engine::{group_preserving_order, ForkGraphEngine, ForkGraphRunResult};
@@ -203,6 +204,8 @@ struct RunState<'e, 'g, D: KernelDriver> {
     counters: &'e WorkCounters,
     tracer: &'e GraphAccessTracer,
     num_queries: usize,
+    /// Operations-per-visit histogram, present when the run is profiling.
+    visit_hist: Option<&'e AtomicHistogram>,
 }
 
 /// Sets `done` and wakes every parked worker if its worker panics, so a
@@ -291,6 +294,7 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
     /// Claim the next partition: own runnable set first, then steal.
     fn claim(&self, w: usize, rng: &mut SmallRng, stats: &mut WorkerSnapshot) -> Option<usize> {
         if let Some(p) = self.pop_queue(w, rng) {
+            self.engine.emit_trace(EventKind::Claim, p as u32, w as u32, 0);
             return Some(p);
         }
         for offset in 1..self.queues.len() {
@@ -298,6 +302,7 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
             if let Some(p) = self.pop_queue(victim, rng) {
                 stats.steals += 1;
                 self.counters.add_steal();
+                self.engine.emit_trace(EventKind::Steal, p as u32, w as u32, victim as u32);
                 return Some(p);
             }
         }
@@ -320,11 +325,15 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
         mailbox.state.store(RUNNING, Ordering::Release);
         let drained = mailbox.drain();
         let drained_count = drained.len();
+        self.engine.emit_trace(EventKind::MailboxDrain, p as u32, drained_count as u32, w as u32);
 
         if drained_count > 0 {
             self.counters.add_partition_visit();
             stats.visits += 1;
             stats.operations += drained_count as u64;
+            if let Some(hist) = self.visit_hist {
+                hist.record(drained_count as u64);
+            }
             let config = self.engine.config();
             let groups: Vec<(u32, Vec<Operation<D::Value>>)> = if config.consolidate {
                 scratch.push_batch(drained);
@@ -332,6 +341,12 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
             } else {
                 group_preserving_order(drained)
             };
+            self.engine.emit_trace(
+                EventKind::PartitionVisitBegin,
+                p as u32,
+                drained_count as u32,
+                groups.len() as u32,
+            );
             let partition_id = p as PartitionId;
             let partition_edges =
                 self.engine.partitioned_graph().partition(partition_id).num_edges() as u64;
@@ -367,6 +382,7 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
                 drop(self.idle_lock.lock());
                 self.idle_cv.notify_all();
             }
+            self.engine.emit_trace(EventKind::PartitionVisitEnd, p as u32, 0, 0);
         }
 
         loop {
@@ -414,7 +430,9 @@ impl<'e, 'g, D: KernelDriver> RunState<'e, 'g, D> {
                         self.parked.fetch_sub(1, Ordering::SeqCst);
                         continue;
                     }
+                    self.engine.emit_trace(EventKind::Park, w as u32, 1, 0);
                     let _ = self.idle_cv.wait_for(&mut guard, PARK_TIMEOUT);
+                    self.engine.emit_trace(EventKind::Unpark, w as u32, 1, 0);
                     self.parked.fetch_sub(1, Ordering::SeqCst);
                 }
             }
@@ -456,6 +474,8 @@ pub(crate) fn run_parallel<D: KernelDriver>(
     };
     let counters = WorkCounters::new();
     let watch = Stopwatch::start();
+    engine.emit_trace(EventKind::RunBegin, num_queries as u32, num_workers as u32, 1);
+    let visit_hist = config.profile.then(AtomicHistogram::default);
 
     let policy_seed = match config.scheduling {
         SchedulingPolicy::Random { seed } => seed,
@@ -489,6 +509,7 @@ pub(crate) fn run_parallel<D: KernelDriver>(
         counters: &counters,
         tracer: &tracer,
         num_queries,
+        visit_hist: visit_hist.as_ref(),
     };
 
     // InitBuffers(P, Q): seed every query at its source.
@@ -497,6 +518,7 @@ pub(crate) fn run_parallel<D: KernelDriver>(
         let p = pg.partition_of(source) as usize;
         run.post(0, p, Operation::new(q as u32, source, value, priority));
     }
+    let init_done = watch.elapsed();
 
     let mut worker_stats: Vec<WorkerSnapshot> = match pool {
         Some(pool) => {
@@ -527,6 +549,7 @@ pub(crate) fn run_parallel<D: KernelDriver>(
         }),
     };
     worker_stats.sort_by_key(|s| s.worker);
+    let main_done = watch.elapsed();
 
     debug_assert_eq!(run.in_flight.load(Ordering::SeqCst), 0, "run quiesced with ops in flight");
     counters.add_queries_completed(num_queries as u64);
@@ -538,7 +561,28 @@ pub(crate) fn run_parallel<D: KernelDriver>(
     let mut measurement =
         engine.build_measurement(watch.elapsed(), &counters, &tracer, num_queries);
     measurement.work.workers = worker_stats;
-    ForkGraphRunResult { per_query, measurement }
+    engine.emit_trace(EventKind::RunEnd, num_queries as u32, num_workers as u32, 1);
+    let profile = visit_hist.map(|hist| {
+        let work = &measurement.work;
+        let mut steals_per_worker = Histogram::default();
+        for ws in &work.workers {
+            steals_per_worker.record(ws.steals);
+        }
+        RunProfile {
+            phases: PhaseTimes {
+                init: init_done,
+                processing: main_done.saturating_sub(init_done),
+                finalize: measurement.wall_time.saturating_sub(main_done),
+            },
+            workers: num_workers as u32,
+            partition_visits: work.partition_visits,
+            visit_ops: hist.snapshot(),
+            steals_per_worker,
+            steals: work.steals,
+            yields: work.yields,
+        }
+    });
+    ForkGraphRunResult { per_query, measurement, profile }
 }
 
 #[cfg(test)]

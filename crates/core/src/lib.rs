@@ -42,6 +42,12 @@
 //! Built-in kernels cover the query types of the paper: SSSP, BFS, DFS, PPR,
 //! and random walks ([`kernels`]). Applications (BC, NCP, LL) live in the
 //! `fg-apps` crate.
+//!
+//! Every layer is instrumented for the `fg-trace` event subsystem: attach a
+//! [`fg_trace::TraceSink`] with [`engine::ForkGraphEngine::with_trace_sink`]
+//! to record run/visit/claim/steal/park events, or set
+//! [`engine::EngineConfig::profile`] to get a per-run
+//! [`fg_trace::RunProfile`] on the result without any sink.
 
 pub mod buffer;
 pub mod dynkernel;

@@ -51,6 +51,7 @@ use fg_cachesim::GraphAccessTracer;
 use fg_graph::partition::PartitionId;
 use fg_graph::{CsrGraph, VertexId};
 use fg_metrics::{Measurement, WorkCounters, WorkSnapshot};
+use fg_trace::{EventKind, RunProfile};
 
 use crate::dynkernel::{DynKernel, ErasedState, MultiKernelHooks};
 use crate::engine::{ForkGraphEngine, VisitOutcome};
@@ -67,6 +68,9 @@ pub struct MultiRunResult {
     pub per_group: Vec<Vec<ErasedState>>,
     /// Timing, work, cache, and memory measurement of the whole shared pass.
     pub measurement: Measurement,
+    /// Per-run profile of the shared pass, present iff
+    /// [`crate::EngineConfig::profile`] was set.
+    pub profile: Option<RunProfile>,
 }
 
 impl MultiRunResult {
@@ -187,6 +191,7 @@ impl<P: PayloadOps> KernelDriver for MultiDriver<'_, P> {
         counters: &WorkCounters,
     ) -> VisitOutcome<P> {
         let group = self.query_group[query as usize];
+        engine.emit_trace(EventKind::QueryGroupVisit, query, group as u32, partition);
         // Yield budgets scale with `|Q|` (`EdgeBudgetAuto` is
         // `factor · |E_P| / |Q|`): give each group the budget of *its own*
         // cohort size, not the union's, so a query makes exactly the
@@ -280,7 +285,7 @@ fn run_width<P: PayloadOps>(
         })
         .collect();
     debug_assert!(states.next().is_none(), "every query state is handed to exactly one group");
-    MultiRunResult { per_group, measurement: result.measurement }
+    MultiRunResult { per_group, measurement: result.measurement, profile: result.profile }
 }
 
 #[cfg(test)]

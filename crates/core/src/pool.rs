@@ -35,13 +35,14 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
 use fg_graph::partition::PartitionId;
 use fg_metrics::{PoolCounters, PoolSnapshot};
+use fg_trace::{EventKind, TraceSink};
 
 use crate::buffer::PartitionBuffer;
 use crate::executor::Mailbox;
@@ -138,6 +139,18 @@ struct PoolShared {
     done_cv: Condvar,
     counters: PoolCounters,
     recycle: Mutex<RecycleArena>,
+    /// Optional trace sink; set once, first writer wins (a pool shared by
+    /// several traced engines keeps the first sink attached).
+    trace: OnceLock<Arc<TraceSink>>,
+}
+
+impl PoolShared {
+    #[inline]
+    fn emit(&self, kind: EventKind, a: u32, b: u32, c: u32) {
+        if let Some(trace) = self.trace.get() {
+            trace.emit(kind, a, b, c);
+        }
+    }
 }
 
 /// A persistent crew of executor worker threads; see the module docs.
@@ -165,6 +178,7 @@ impl WorkerPool {
             done_cv: Condvar::new(),
             counters: PoolCounters::new(),
             recycle: Mutex::new(RecycleArena::default()),
+            trace: OnceLock::new(),
         });
         let pool =
             WorkerPool { shared, threads: Mutex::new(Vec::new()), dispatch_lock: Mutex::new(()) };
@@ -180,6 +194,14 @@ impl WorkerPool {
     /// Lifetime counters: dispatches, park/unpark, reuse vs rebuild.
     pub fn metrics(&self) -> PoolSnapshot {
         self.shared.counters.snapshot()
+    }
+
+    /// Attach a trace sink: dispatch epochs, storage recycling, and worker
+    /// park/unpark become trace events. Set-once; later calls on an
+    /// already-traced pool are ignored (first sink wins), so engines sharing
+    /// a pool cannot silently re-route each other's events mid-run.
+    pub fn attach_trace(&self, sink: Arc<TraceSink>) {
+        let _ = self.shared.trace.set(sink);
     }
 
     /// The live counters (for executor-internal accounting).
@@ -230,6 +252,7 @@ impl WorkerPool {
         state.generation += 1;
         state.panicked = false;
         self.shared.counters.add_dispatch();
+        self.shared.emit(EventKind::PoolDispatch, state.generation as u32, active as u32, 0);
         self.shared.work_cv.notify_all();
         while state.remaining > 0 {
             self.shared.done_cv.wait(&mut state);
@@ -262,6 +285,12 @@ impl WorkerPool {
         let reused = mailboxes.len().min(num_partitions) as u64;
         self.shared.counters.add_mailboxes_reused(reused);
         self.shared.counters.add_mailboxes_rebuilt(num_partitions as u64 - reused);
+        self.shared.emit(
+            EventKind::StorageRecycle,
+            reused as u32,
+            (num_partitions as u64 - reused) as u32,
+            num_workers as u32,
+        );
         mailboxes.truncate(num_partitions);
         for mailbox in &mut mailboxes {
             mailbox.reset_for(num_workers);
@@ -344,8 +373,10 @@ fn worker_body(shared: Arc<PoolShared>, index: usize) {
                     return;
                 }
                 shared.counters.add_park();
+                shared.emit(EventKind::Park, index as u32, 0, 0);
                 shared.work_cv.wait(&mut state);
                 shared.counters.add_unpark();
+                shared.emit(EventKind::Unpark, index as u32, 0, 0);
             }
         };
         // Contain job panics so a kernel panic fails that run (the

@@ -1,0 +1,214 @@
+//! Trace-correctness tests: the event stream must agree with the
+//! scheduler's and the metrics layer's ground truth, not merely exist.
+//!
+//! Executor modes are pinned per test (never the `FORKGRAPH_EXECUTOR` env
+//! default) so each assertion holds on every leg of the CI matrix.
+
+use std::sync::Arc;
+
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_trace::{EventKind, TraceEvent, TraceSink};
+use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine};
+
+fn partitioned(parts: usize) -> PartitionedGraph {
+    let g = fg_graph::gen::rmat(10, 6, 2024).with_random_weights(9, 2024);
+    PartitionedGraph::build(
+        &g,
+        PartitionConfig::with_partitions(PartitionMethod::Multilevel, parts),
+    )
+}
+
+/// The partition-visit order a serial run's event stream reconstructs.
+fn visit_order(events: &[TraceEvent]) -> Vec<u32> {
+    events.iter().filter(|e| e.kind == EventKind::PartitionVisitBegin).map(|e| e.a).collect()
+}
+
+#[test]
+fn serial_event_stream_reconstructs_the_exact_visit_order() {
+    let pg = partitioned(8);
+    let sources: Vec<u32> = vec![0, 13, 200, 777];
+    let config = EngineConfig::default().with_threads(1).with_executor(ExecutorMode::Serial);
+
+    let run = |sink: &Arc<TraceSink>| {
+        let engine = ForkGraphEngine::new(&pg, config).with_trace_sink(Arc::clone(sink));
+        engine.run_sssp(&sources)
+    };
+    let sink_a = TraceSink::new();
+    let result_a = run(&sink_a);
+    let sink_b = TraceSink::new();
+    let result_b = run(&sink_b);
+
+    // Serial scheduling is deterministic: two identical runs visit the same
+    // partitions in the same order, and the event stream captures exactly
+    // that order — one Begin per counted visit, same sequence both times.
+    let events_a: Vec<TraceEvent> = sink_a.merged_events().into_iter().map(|(_, e)| e).collect();
+    let events_b: Vec<TraceEvent> = sink_b.merged_events().into_iter().map(|(_, e)| e).collect();
+    let order_a = visit_order(&events_a);
+    assert_eq!(order_a, visit_order(&events_b), "serial visit order is deterministic");
+    assert_eq!(
+        order_a.len() as u64,
+        result_a.work().partition_visits,
+        "one PartitionVisitBegin per counted partition visit"
+    );
+    assert_eq!(result_a.per_query, result_b.per_query);
+
+    // Begin/End bracket correctly: serial visits never nest, and each End
+    // names the partition its Begin opened.
+    let mut open: Option<u32> = None;
+    let mut run_open = false;
+    for e in &events_a {
+        match e.kind {
+            EventKind::RunBegin => run_open = true,
+            EventKind::RunEnd => run_open = false,
+            EventKind::PartitionVisitBegin => {
+                assert!(run_open, "visit outside the run span");
+                assert_eq!(open, None, "serial visits must not nest");
+                open = Some(e.a);
+            }
+            EventKind::PartitionVisitEnd => {
+                assert_eq!(open, Some(e.a), "End names the partition its Begin opened");
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(open, None, "every visit span is closed");
+
+    // Yield events agree with the yield counter.
+    let yields = events_a.iter().filter(|e| e.kind == EventKind::Yield).count() as u64;
+    assert_eq!(yields, result_a.work().yields);
+}
+
+#[test]
+fn pool_run_events_pair_claims_with_drains_and_match_steal_counts() {
+    let pg = partitioned(8);
+    let sources: Vec<u32> = vec![0, 5, 9, 100, 321, 700];
+    let sink = TraceSink::new();
+    let config = EngineConfig::default().with_threads(3).with_executor(ExecutorMode::Pool);
+    let engine = ForkGraphEngine::new(&pg, config).with_trace_sink(Arc::clone(&sink));
+    let result = engine.run_bfs(&sources);
+    let work = result.work();
+
+    // Per worker lane: a claimed partition's mailbox is drained before the
+    // worker claims anything else (claim → drain pairing, in lane order).
+    let lanes = sink.events();
+    let mut claims = 0u64;
+    let mut drains = 0u64;
+    let mut steals = 0u64;
+    for lane in &lanes {
+        let mut pending_claim: Option<u32> = None;
+        for e in &lane.events {
+            match e.kind {
+                EventKind::Claim | EventKind::Steal => {
+                    assert_eq!(
+                        pending_claim, None,
+                        "worker claimed {} before draining its previous claim",
+                        e.a
+                    );
+                    pending_claim = Some(e.a);
+                    claims += 1;
+                    if e.kind == EventKind::Steal {
+                        steals += 1;
+                    }
+                }
+                EventKind::MailboxDrain => {
+                    assert_eq!(
+                        pending_claim,
+                        Some(e.a),
+                        "drain of a partition the worker did not claim"
+                    );
+                    pending_claim = None;
+                    drains += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(pending_claim, None, "every claim on a lane is drained");
+    }
+    assert_eq!(claims, drains, "every claim drains exactly once");
+    assert_eq!(steals, work.steals, "Steal events match the steal counter");
+
+    // Visits that drained operations are the counted partition visits, and
+    // the drained totals cover every buffered operation exactly once.
+    let all: Vec<TraceEvent> = sink.merged_events().into_iter().map(|(_, e)| e).collect();
+    let nonempty_drains =
+        all.iter().filter(|e| e.kind == EventKind::MailboxDrain && e.b > 0).count() as u64;
+    assert_eq!(nonempty_drains, work.partition_visits);
+    let drained_ops: u64 =
+        all.iter().filter(|e| e.kind == EventKind::MailboxDrain).map(|e| e.b as u64).sum();
+    assert_eq!(drained_ops, work.operations_buffered);
+
+    // The run span and the pool dispatch are both on the stream.
+    assert!(all.iter().any(|e| e.kind == EventKind::RunBegin && e.b == 3));
+    assert!(all.iter().any(|e| e.kind == EventKind::RunEnd));
+    assert!(all.iter().any(|e| e.kind == EventKind::PoolDispatch && e.b == 3));
+}
+
+#[test]
+fn profile_is_attached_iff_requested_and_matches_the_counters() {
+    let pg = partitioned(6);
+    let sources: Vec<u32> = vec![0, 42, 999];
+
+    for mode in [ExecutorMode::Serial, ExecutorMode::Pool] {
+        let threads = if mode == ExecutorMode::Serial { 1 } else { 3 };
+        let base = EngineConfig::default().with_threads(threads).with_executor(mode);
+
+        let off = ForkGraphEngine::new(&pg, base).run_sssp(&sources);
+        assert!(off.profile.is_none(), "{mode:?}: no profile unless requested");
+
+        // No sink attached: profiles come from counters alone.
+        let on = ForkGraphEngine::new(&pg, base.with_profile(true)).run_sssp(&sources);
+        let profile = on.profile.as_ref().expect("profile requested");
+        let work = on.work();
+        assert_eq!(profile.partition_visits, work.partition_visits, "{mode:?}");
+        assert_eq!(profile.visit_ops.count(), work.partition_visits, "{mode:?}");
+        assert_eq!(profile.steals, work.steals, "{mode:?}");
+        assert_eq!(profile.yields, work.yields, "{mode:?}");
+        assert_eq!(profile.workers as usize, if threads == 1 { 1 } else { threads }, "{mode:?}");
+        assert!(
+            profile.phases.total() <= on.measurement.wall_time,
+            "{mode:?}: phases partition the measured wall time"
+        );
+        if mode == ExecutorMode::Pool {
+            assert_eq!(
+                profile.steals_per_worker.count(),
+                work.workers.len() as u64,
+                "one steal sample per worker"
+            );
+            assert_eq!(profile.steals_per_worker.sum(), work.steals);
+        }
+        // Profiles must not change results.
+        assert_eq!(off.per_query, on.per_query, "{mode:?}");
+    }
+}
+
+#[test]
+fn multi_kernel_runs_carry_profiles_and_group_visit_events() {
+    let pg = partitioned(6);
+    let sink = TraceSink::new();
+    let config = EngineConfig::default()
+        .with_threads(1)
+        .with_executor(ExecutorMode::Serial)
+        .with_profile(true);
+    let engine = ForkGraphEngine::new(&pg, config).with_trace_sink(Arc::clone(&sink));
+
+    let sssp = forkgraph_core::erase(forkgraph_core::kernels::SsspKernel);
+    let bfs = forkgraph_core::erase(forkgraph_core::kernels::BfsKernel);
+    let sssp_sources: Vec<u32> = vec![0, 7];
+    let bfs_sources: Vec<u32> = vec![3, 11, 200];
+    let result = engine.run_multi(&[(&*sssp, &sssp_sources[..]), (&*bfs, &bfs_sources[..])]);
+
+    assert!(result.profile.is_some(), "multi runs propagate the profile");
+    let events: Vec<TraceEvent> = sink.merged_events().into_iter().map(|(_, e)| e).collect();
+    let group_visits: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.kind == EventKind::QueryGroupVisit).collect();
+    assert!(!group_visits.is_empty(), "multi visits emit QueryGroupVisit");
+    // Both kernel groups appear, and group indices stay in range.
+    assert!(group_visits.iter().any(|e| e.b == 0));
+    assert!(group_visits.iter().any(|e| e.b == 1));
+    assert!(group_visits.iter().all(|e| e.b < 2));
+    // RunBegin advertises the union query count.
+    let begin = events.iter().find(|e| e.kind == EventKind::RunBegin).expect("run began");
+    assert_eq!(begin.a as usize, sssp_sources.len() + bfs_sources.len());
+}

@@ -8,6 +8,7 @@
 //! per-run allocations (partition mailboxes, per-worker scratch buffers) were
 //! recycled from the pool's arena versus rebuilt from scratch.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,39 @@ impl PoolSnapshot {
             self.mailboxes_reused as f64 / total as f64
         }
     }
+
+    /// Fraction of per-worker scratch buffers reused across runs, in
+    /// `[0, 1]` (0 for an unused pool).
+    pub fn scratch_reuse_rate(&self) -> f64 {
+        let total = self.scratch_reused + self.scratch_rebuilt;
+        if total == 0 {
+            0.0
+        } else {
+            self.scratch_reused as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PoolSnapshot {
+    /// A compact, human-readable pool health summary (what `examples/serve`
+    /// prints). Zero-denominator-safe for an unused pool.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pool: {} threads spawned, {} dispatches, {} parks / {} unparks",
+            self.threads_spawned, self.dispatches, self.parks, self.unparks
+        )?;
+        write!(
+            f,
+            "  reuse: mailboxes {}/{} ({:.1}%), scratch {}/{} ({:.1}%)",
+            self.mailboxes_reused,
+            self.mailboxes_reused + self.mailboxes_rebuilt,
+            100.0 * self.mailbox_reuse_rate(),
+            self.scratch_reused,
+            self.scratch_reused + self.scratch_rebuilt,
+            100.0 * self.scratch_reuse_rate()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +195,29 @@ mod tests {
 
     #[test]
     fn empty_snapshot_reuse_rate_is_zero() {
-        assert_eq!(PoolCounters::new().snapshot().mailbox_reuse_rate(), 0.0);
+        let s = PoolCounters::new().snapshot();
+        assert_eq!(s.mailbox_reuse_rate(), 0.0);
+        assert_eq!(s.scratch_reuse_rate(), 0.0);
+        assert!(!s.mailbox_reuse_rate().is_nan());
+        assert!(!s.scratch_reuse_rate().is_nan());
+    }
+
+    #[test]
+    fn display_is_compact_and_nan_free_when_empty() {
+        let text = format!("{}", PoolSnapshot::default());
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(text.lines().count() <= 2, "{text}");
+
+        let populated = PoolSnapshot {
+            threads_spawned: 4,
+            dispatches: 9,
+            mailboxes_reused: 10,
+            mailboxes_rebuilt: 2,
+            ..Default::default()
+        };
+        let text = format!("{populated}");
+        assert!(text.contains("4 threads spawned"), "{text}");
+        assert!(text.contains("mailboxes 10/12 (83.3%)"), "{text}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! latency recorder keeps a bounded reservoir behind a mutex taken once per
 //! completed query.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -262,6 +263,45 @@ impl ServiceSnapshot {
     }
 }
 
+impl fmt::Display for ServiceSnapshot {
+    /// A compact, human-readable operational summary (what `examples/serve`
+    /// prints). One screen; every rate is zero-denominator-safe.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service: {} submitted ({} admitted, {} rejected), queue {} (max {})",
+            self.submitted, self.admitted, self.rejected, self.queue_depth, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "  cache  : {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "  batches: {} runs, {} queries (mean {:.1}/batch, max {}, workers <= {})",
+            self.batches_dispatched,
+            self.queries_batched,
+            self.mean_batch_occupancy(),
+            self.max_batch_occupancy,
+            self.max_batch_workers
+        )?;
+        writeln!(
+            f,
+            "  mixed  : {} multi-kernel runs ({:.1}% of runs)",
+            self.mixed_runs,
+            100.0 * self.mixed_run_rate()
+        )?;
+        write!(
+            f,
+            "  latency: p50 {:.3?}, p99 {:.3?} ({} samples)",
+            self.latency_p50, self.latency_p99, self.latency_samples
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +400,48 @@ mod tests {
         assert_eq!(s.latency_p50, Duration::ZERO);
         assert_eq!(s.mean_batch_occupancy(), 0.0);
         assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    /// Pins the zero-denominator contract of every rate accessor: a
+    /// fresh/idle service must report clean zeros, never NaN (NaN poisons
+    /// comparisons, JSON serialisation, and the Prometheus exposition).
+    #[test]
+    fn rate_accessors_return_zero_not_nan_on_zero_denominators() {
+        let s = ServiceSnapshot::default();
+        for rate in [s.mean_batch_occupancy(), s.mixed_run_rate(), s.cache_hit_rate()] {
+            assert!(!rate.is_nan());
+            assert_eq!(rate, 0.0);
+        }
+        // Partially-populated snapshots with a zero denominator stay safe:
+        // mixed_runs without dispatches (impossible live, possible in
+        // hand-built snapshots) must not divide by zero.
+        let s = ServiceSnapshot { mixed_runs: 3, cache_hits: 5, ..Default::default() };
+        assert_eq!(s.mixed_run_rate(), 0.0);
+        assert_eq!(s.mean_batch_occupancy(), 0.0);
+        assert!((s.cache_hit_rate() - 1.0).abs() < 1e-12, "hits with no misses is a 100% rate");
+    }
+
+    #[test]
+    fn display_is_compact_and_nan_free_when_empty() {
+        let text = format!("{}", ServiceSnapshot::default());
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(text.lines().count() <= 5, "{text}");
+        assert!(text.contains("0 submitted"), "{text}");
+
+        let populated = ServiceSnapshot {
+            submitted: 10,
+            admitted: 8,
+            rejected: 2,
+            cache_hits: 4,
+            cache_misses: 4,
+            batches_dispatched: 2,
+            queries_batched: 8,
+            mixed_runs: 1,
+            ..Default::default()
+        };
+        let text = format!("{populated}");
+        assert!(text.contains("10 submitted (8 admitted, 2 rejected)"), "{text}");
+        assert!(text.contains("50.0% hit rate"), "{text}");
+        assert!(text.contains("mean 4.0/batch"), "{text}");
     }
 }

@@ -84,5 +84,5 @@ pub use query::{BatchKey, CacheKey, KernelMismatch, Query, QueryResult, QuerySpe
 pub use registry::{
     InstantiatedKernel, KernelFactory, KernelId, KernelRegistry, RegistryError, ResolvedKernel,
 };
-pub use service::{ForkGraphService, ServiceConfig, ServiceError, ServiceHandle};
+pub use service::{ForkGraphService, ServiceConfig, ServiceError, ServiceHandle, TraceHandle};
 pub use ticket::Ticket;

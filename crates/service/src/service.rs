@@ -34,6 +34,7 @@ use fg_graph::VertexId;
 use fg_metrics::{BatchRecord, PoolSnapshot, ServiceCounters, ServiceSnapshot};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
+use fg_trace::{EventKind, TraceSink};
 use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine, WorkerPool};
 
 use crate::adaptive;
@@ -179,6 +180,10 @@ struct Pending {
     batch_key: BatchKey,
     slot: Arc<Slot>,
     submitted_at: Instant,
+    /// Trace correlation id minted at submit (0 when the service is
+    /// untraced); ties this ticket's `Submit → Enqueue → JoinBatch →
+    /// Resolve` events into one flow across threads.
+    trace_id: u32,
 }
 
 struct Inner {
@@ -196,6 +201,24 @@ struct Shared {
     config: ServiceConfig,
     /// Vertex count of the served graph, for submit-time source validation.
     num_vertices: usize,
+    /// Optional event sink; the whole submit/batch/resolve path is traced
+    /// when present ([`ForkGraphService::start_traced`]).
+    trace: Option<Arc<TraceSink>>,
+}
+
+impl Shared {
+    /// One branch when untraced; see [`TraceSink::emit`].
+    #[inline]
+    fn emit(&self, kind: EventKind, a: u32, b: u32, c: u32) {
+        if let Some(trace) = &self.trace {
+            trace.emit(kind, a, b, c);
+        }
+    }
+
+    /// Mint a flow correlation id, or 0 when untraced.
+    fn next_trace_id(&self) -> u32 {
+        self.trace.as_ref().map_or(0, |trace| trace.next_id())
+    }
 }
 
 /// Cloneable submission endpoint, safe to hand to many client threads.
@@ -226,6 +249,8 @@ impl ServiceHandle {
         // params. Unknown names and bad params fail here, synchronously.
         let resolved = shared.registry.resolve(query.kernel_name(), query.params())?;
         let batch_key = BatchKey { kernel: resolved.id, params: resolved.params.clone() };
+        let trace_id = shared.next_trace_id();
+        shared.emit(EventKind::Submit, trace_id, resolved.id.as_u64() as u32, source);
 
         // Fast path: answer repeated hot queries from the LRU cache.
         if shared.config.cache_capacity > 0 {
@@ -234,6 +259,7 @@ impl ServiceHandle {
             if let Some(result) = hit {
                 shared.counters.on_cache_hit();
                 shared.counters.record_latency(Duration::ZERO);
+                shared.emit(EventKind::CacheHit, trace_id, resolved.id.as_u64() as u32, 0);
                 return Ok(Ticket::ready(Ok(result)));
             }
         }
@@ -252,6 +278,7 @@ impl ServiceHandle {
         }
         shared.counters.on_cache_miss();
         shared.counters.on_admit(depth + 1);
+        shared.emit(EventKind::Enqueue, trace_id, (depth + 1) as u32, 0);
         let slot = Slot::new();
         inner.queue.push_back(Pending {
             resolved,
@@ -259,6 +286,7 @@ impl ServiceHandle {
             batch_key,
             slot: Arc::clone(&slot),
             submitted_at: Instant::now(),
+            trace_id,
         });
         drop(inner);
         shared.work_ready.notify_all();
@@ -400,6 +428,35 @@ impl ForkGraphService {
         config: ServiceConfig,
         registry: Arc<KernelRegistry>,
     ) -> Self {
+        Self::start_inner(graph, engine_config, config, registry, None)
+    }
+
+    /// Start the service with event tracing: every submit, batch formation,
+    /// engine run, and ticket resolution is recorded into `sink`, alongside
+    /// the engine/executor/pool events of each dispatched run. Read the
+    /// stream back through [`Self::trace_handle`].
+    pub fn start_traced(
+        graph: Arc<PartitionedGraph>,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+        sink: Arc<TraceSink>,
+    ) -> Self {
+        Self::start_inner(
+            graph,
+            engine_config,
+            config,
+            Arc::new(KernelRegistry::with_builtins()),
+            Some(sink),
+        )
+    }
+
+    fn start_inner(
+        graph: Arc<PartitionedGraph>,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+        registry: Arc<KernelRegistry>,
+        trace: Option<Arc<TraceSink>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
@@ -408,16 +465,21 @@ impl ForkGraphService {
             registry,
             config,
             num_vertices: graph.graph().num_vertices(),
+            trace,
         });
         let max_workers = engine_config.resolved_threads();
         let pool = (max_workers > 1
             && graph.num_partitions() > 1
             && engine_config.resolved_executor() == ExecutorMode::Pool)
             .then(|| {
-                Arc::new(WorkerPool::new(forkgraph_core::pool::crew_size(
+                let pool = Arc::new(WorkerPool::new(forkgraph_core::pool::crew_size(
                     max_workers,
                     graph.num_partitions(),
-                )))
+                )));
+                if let Some(trace) = &shared.trace {
+                    pool.attach_trace(Arc::clone(trace));
+                }
+                pool
             });
         let worker_shared = Arc::clone(&shared);
         let worker_pool = pool.clone();
@@ -474,6 +536,17 @@ impl ForkGraphService {
         self.shared.counters.batch_records()
     }
 
+    /// The service's observability surface: the trace sink plus ready-made
+    /// Chrome-trace and Prometheus-exposition renderings over it. `None`
+    /// unless the service was started with [`Self::start_traced`].
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.shared.trace.as_ref().map(|sink| TraceHandle {
+            sink: Arc::clone(sink),
+            counters: Arc::clone(&self.shared.counters),
+            pool: self.pool.clone(),
+        })
+    }
+
     /// Stop accepting queries, flush the already-admitted backlog, join the
     /// batcher thread, and join the worker pool's threads.
     pub fn shutdown(mut self) {
@@ -495,6 +568,40 @@ impl ForkGraphService {
 impl Drop for ForkGraphService {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// A traced service's observability surface, detached from the service's
+/// lifetime (cloneable snapshots of the sink, counters, and pool). Obtained
+/// from [`ForkGraphService::trace_handle`]; stays valid — serving its last
+/// recorded state — after the service shuts down.
+#[derive(Clone)]
+pub struct TraceHandle {
+    sink: Arc<TraceSink>,
+    counters: Arc<ServiceCounters>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl TraceHandle {
+    /// The underlying event sink (for direct event access or enable/disable).
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// Render the recorded events as Chrome trace-event JSON, loadable in
+    /// `chrome://tracing` or Perfetto ([`fg_trace::chrome::export`]).
+    pub fn chrome_trace(&self) -> String {
+        fg_trace::chrome::export(&self.sink)
+    }
+
+    /// Render the current service/pool/trace metrics in the Prometheus text
+    /// exposition format ([`fn@fg_trace::expose`]) — a complete `/metrics`
+    /// response body.
+    pub fn exposition(&self) -> String {
+        let service = self.counters.snapshot();
+        let pool = self.pool.as_ref().map(|pool| pool.metrics());
+        let stats = self.sink.stats();
+        fg_trace::expose(Some(&service), pool.as_ref(), Some(&stats))
     }
 }
 
@@ -575,6 +682,15 @@ fn batcher_loop(
             cohorts
         };
 
+        let batch_id = shared.next_trace_id();
+        if shared.trace.is_some() {
+            for (_, members) in &cohorts {
+                for pending in members {
+                    shared.emit(EventKind::JoinBatch, pending.trace_id, batch_id, 0);
+                }
+            }
+        }
+
         // Adaptive sizing: pick the worker count for *this* run from the
         // summed per-cohort offered load (cohort size × its kernel's
         // declared weight; pure policy in `adaptive`) and the partition
@@ -600,6 +716,11 @@ fn batcher_loop(
             }
             _ => ForkGraphEngine::new(&graph, batch_config),
         };
+        let engine = match &shared.trace {
+            Some(sink) => engine.with_trace_sink(Arc::clone(sink)),
+            None => engine,
+        };
+        shared.emit(EventKind::BatchBegin, batch_id, total as u32, cohorts.len() as u32);
 
         // One consolidated, type-erased engine run for *all* drained
         // cohorts — this is where concurrent requests turn into the paper's
@@ -645,14 +766,17 @@ fn batcher_loop(
                 states
             }
             _ => {
+                shared.emit(EventKind::BatchEnd, batch_id, 0, 0);
                 for (_, members) in cohorts {
                     for pending in members {
                         pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                        shared.emit(EventKind::Resolve, pending.trace_id, batch_id, 0);
                     }
                 }
                 continue;
             }
         };
+        shared.emit(EventKind::BatchEnd, batch_id, 0, 0);
 
         let now = Instant::now();
         for ((_, members), states) in cohorts.into_iter().zip(per_cohort_states) {
@@ -687,6 +811,7 @@ fn batcher_loop(
                 }
                 shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
                 pending.slot.fulfil(Ok(result));
+                shared.emit(EventKind::Resolve, pending.trace_id, batch_id, 0);
             }
         }
     }
@@ -697,5 +822,6 @@ fn batcher_loop(
     let leftovers: Vec<Pending> = shared.inner.lock().queue.drain(..).collect();
     for pending in leftovers {
         pending.slot.fulfil(Err(ServiceError::ShuttingDown));
+        shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
     }
 }

@@ -1,0 +1,161 @@
+//! Acceptance test for traced service runs: a burst of queries through a
+//! traced [`ForkGraphService`] over a multi-worker pool must yield (a) a
+//! parseable Chrome trace whose flow arrows connect submit → batch → resolve
+//! per ticket, and (b) a raw event stream in which every ticket's
+//! Submit → Enqueue → JoinBatch → Resolve chain is complete, causally
+//! ordered, and tied to a batch that actually began and ended.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_graph::gen;
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_service::{ForkGraphService, Query, ServiceConfig};
+use fg_trace::{chrome, EventKind, TraceSink};
+use forkgraph_core::{EngineConfig, ExecutorMode};
+
+const QUERIES: u32 = 32;
+const WORKERS: usize = 3;
+
+/// One ticket's lifecycle, reconstructed from the raw event stream.
+#[derive(Default)]
+struct Chain {
+    submit_nanos: Option<u64>,
+    enqueue_nanos: Option<u64>,
+    join_nanos: Option<u64>,
+    join_batch: Option<u32>,
+    resolve_nanos: Option<u64>,
+    resolve_batch: Option<u32>,
+}
+
+#[test]
+fn traced_service_run_produces_connected_chrome_trace_and_event_chains() {
+    let g = gen::rmat(10, 6, 99).with_random_weights(8, 99);
+    let pg = Arc::new(PartitionedGraph::build(
+        &g,
+        PartitionConfig::with_partitions(PartitionMethod::Multilevel, 6),
+    ));
+    let n = g.num_vertices() as u32;
+
+    let sink = TraceSink::new();
+    let service = ForkGraphService::start_traced(
+        Arc::clone(&pg),
+        // Pinned: the acceptance criterion is a service run over >= 2 engine
+        // worker threads, independent of the FORKGRAPH_EXECUTOR leg.
+        EngineConfig::default().with_threads(WORKERS).with_executor(ExecutorMode::Pool),
+        ServiceConfig {
+            batch_window: Duration::from_millis(1),
+            max_batch_size: 64,
+            max_queue_depth: 256,
+            // No result cache: every ticket must travel the full
+            // Submit -> Enqueue -> JoinBatch -> Resolve chain.
+            cache_capacity: 0,
+            max_kernels_per_run: 4,
+        },
+        Arc::clone(&sink),
+    );
+
+    let handle = service.handle();
+    let tickets: Vec<_> = (0..QUERIES)
+        .map(|i| {
+            let source = (i * 61) % n;
+            let query = if i % 2 == 0 {
+                Query::kernel("sssp").source(source)
+            } else {
+                Query::kernel("bfs").source(source)
+            };
+            handle.submit_query(query).expect("submit")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("service answered");
+    }
+
+    let trace_handle = service.trace_handle().expect("started traced");
+    let json = trace_handle.chrome_trace();
+    let exposition = trace_handle.exposition();
+    service.shutdown();
+
+    // --- Chrome trace: parses, and every finished flow is connected. ---
+    let chrome_events = chrome::parse(&json).expect("chrome trace parses");
+    assert!(!chrome_events.is_empty());
+    assert!(chrome_events.iter().any(|e| e.ph == "M"), "thread metadata names the lanes");
+    let mut flows: HashMap<u64, Vec<&chrome::ChromeEvent>> = HashMap::new();
+    for e in chrome_events.iter().filter(|e| matches!(e.ph.as_str(), "s" | "t" | "f")) {
+        flows.entry(e.id.expect("flow events carry an id")).or_default().push(e);
+    }
+    let finished =
+        flows.values().filter(|steps| steps.iter().any(|e| e.ph == "f")).collect::<Vec<_>>();
+    assert_eq!(finished.len(), QUERIES as usize, "one finished flow per ticket");
+    for steps in finished {
+        let start = steps.iter().find(|e| e.ph == "s").expect("flow has a start");
+        let step = steps.iter().find(|e| e.ph == "t").expect("flow has a batch step");
+        let finish = steps.iter().find(|e| e.ph == "f").expect("flow finishes");
+        assert!(start.ts <= step.ts && step.ts <= finish.ts, "flow arrows point forward");
+        assert_ne!(start.tid, step.tid, "submit and batch live on different threads");
+    }
+
+    // --- Raw events: complete, ordered chains tied to real batches. ---
+    let events: Vec<_> = sink.merged_events().into_iter().map(|(_, e)| e).collect();
+    let mut chains: HashMap<u32, Chain> = HashMap::new();
+    let mut batches: HashMap<u32, (Option<u64>, Option<u64>, u32)> = HashMap::new();
+    for e in &events {
+        match e.kind {
+            EventKind::Submit => chains.entry(e.a).or_default().submit_nanos = Some(e.nanos),
+            EventKind::Enqueue => chains.entry(e.a).or_default().enqueue_nanos = Some(e.nanos),
+            EventKind::JoinBatch => {
+                let chain = chains.entry(e.a).or_default();
+                chain.join_nanos = Some(e.nanos);
+                chain.join_batch = Some(e.b);
+                batches.entry(e.b).or_default().2 += 1;
+            }
+            EventKind::Resolve => {
+                let chain = chains.entry(e.a).or_default();
+                chain.resolve_nanos = Some(e.nanos);
+                chain.resolve_batch = Some(e.b);
+            }
+            EventKind::BatchBegin => batches.entry(e.a).or_default().0 = Some(e.nanos),
+            EventKind::BatchEnd => batches.entry(e.a).or_default().1 = Some(e.nanos),
+            EventKind::CacheHit => panic!("cache_capacity 0 must not produce cache hits"),
+            _ => {}
+        }
+    }
+    assert_eq!(chains.len(), QUERIES as usize, "one chain per submitted ticket");
+    for (tid, chain) in &chains {
+        let submit = chain.submit_nanos.unwrap_or_else(|| panic!("ticket {tid}: no Submit"));
+        let enqueue = chain.enqueue_nanos.unwrap_or_else(|| panic!("ticket {tid}: no Enqueue"));
+        let join = chain.join_nanos.unwrap_or_else(|| panic!("ticket {tid}: no JoinBatch"));
+        let resolve = chain.resolve_nanos.unwrap_or_else(|| panic!("ticket {tid}: no Resolve"));
+        assert!(
+            submit <= enqueue && enqueue <= join && join <= resolve,
+            "ticket {tid}: chain is causally ordered"
+        );
+        assert_eq!(
+            chain.join_batch, chain.resolve_batch,
+            "ticket {tid}: resolved by the batch it joined"
+        );
+        let batch = chain.join_batch.expect("joined a batch");
+        let (begin, end, joined) = batches[&batch];
+        let begin = begin.unwrap_or_else(|| panic!("batch {batch}: no BatchBegin"));
+        let end = end.unwrap_or_else(|| panic!("batch {batch}: no BatchEnd"));
+        assert!(
+            join <= begin && begin <= end && resolve >= begin,
+            "batch {batch} brackets its run"
+        );
+        assert!(joined > 0);
+    }
+
+    // The engine runs inside the batches really were multi-worker: the batch
+    // spans enclose RunBegin events advertising the pinned worker count.
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::RunBegin && e.b == WORKERS as u32),
+        "engine runs under the service report {WORKERS} workers"
+    );
+
+    // --- Exposition mirrors the same run. ---
+    assert!(exposition.contains("fg_service_submitted_total 32"), "{exposition}");
+    assert!(exposition.contains("fg_trace_events_retained"), "{exposition}");
+    assert!(!exposition.contains("NaN"), "{exposition}");
+}

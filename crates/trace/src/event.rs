@@ -1,0 +1,239 @@
+//! Compact fixed-size trace event records.
+//!
+//! An event is 24 bytes — a nanosecond timestamp relative to the sink's
+//! epoch, a `u16` kind, and three `u32` payload slots — encoded into three
+//! `u64` ring-buffer words:
+//!
+//! ```text
+//! word 0: nanos
+//! word 1: (kind as u64) << 32 | a
+//! word 2: (c    as u64) << 32 | b
+//! ```
+//!
+//! Payload slots are ids, never pointers: partition ids, worker indices,
+//! ticket ids minted by [`TraceSink::next_id`](crate::TraceSink::next_id),
+//! operation counts. Meaning is per-kind (documented on each variant);
+//! unused slots are zero.
+
+/// What happened. The numeric values are part of the on-ring encoding;
+/// [`EventKind::from_u16`] rejects unknown values so a torn ring word decodes
+/// to "skip" rather than garbage.
+#[repr(u16)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An engine run started. `a` = number of queries, `b` = worker count
+    /// (1 for serial), `c` = number of kernel groups (1 for single-kernel).
+    RunBegin = 1,
+    /// The matching end of [`EventKind::RunBegin`] on the same thread.
+    RunEnd = 2,
+    /// A partition visit started draining consolidated operations.
+    /// `a` = partition id, `b` = operations consolidated, `c` = query groups
+    /// with operations in this visit.
+    PartitionVisitBegin = 3,
+    /// The matching end of [`EventKind::PartitionVisitBegin`].
+    /// `a` = partition id.
+    PartitionVisitEnd = 4,
+    /// One query's consolidated group was processed inside a multi-kernel
+    /// visit. `a` = query index, `b` = kernel group index, `c` = partition
+    /// id.
+    QueryGroupVisit = 5,
+    /// A query yielded the partition under the engine's yield policy.
+    /// `a` = query index, `b` = partition id.
+    Yield = 6,
+    /// A parallel worker claimed a runnable partition. `a` = partition id,
+    /// `b` = worker index.
+    Claim = 7,
+    /// The claim was stolen from another worker's runnable set.
+    /// `a` = partition id, `b` = thief worker index, `c` = victim worker
+    /// index.
+    Steal = 8,
+    /// A claimed partition's mailbox was drained. `a` = partition id,
+    /// `b` = operations drained (0 = spurious wakeup, visit skipped),
+    /// `c` = worker index.
+    MailboxDrain = 9,
+    /// A worker parked. `a` = worker index, `b` = 1 for an in-run idle wait
+    /// (no runnable partition), 0 for a pool worker parking between runs.
+    Park = 10,
+    /// A parked worker woke. `a` = worker index, `b` as for
+    /// [`EventKind::Park`].
+    Unpark = 11,
+    /// The persistent pool dispatched a run to its crew. `a` = dispatch
+    /// generation (low 32 bits), `b` = active workers.
+    PoolDispatch = 12,
+    /// Per-run executor storage was fetched from the pool's recycle arena.
+    /// `a` = mailboxes reused, `b` = mailboxes rebuilt, `c` = worker count
+    /// of the run.
+    StorageRecycle = 13,
+    /// A query entered the service. `a` = ticket id, `b` = kernel id,
+    /// `c` = source vertex.
+    Submit = 14,
+    /// The submit was answered from the result cache (no ticket enters the
+    /// queue). `a` = ticket id, `b` = kernel id.
+    CacheHit = 15,
+    /// The submit was admitted to the pending queue. `a` = ticket id,
+    /// `b` = queue depth after admission.
+    Enqueue = 16,
+    /// The batcher formed a micro-batch. `a` = batch id, `b` = total
+    /// queries, `c` = kernel cohorts in the batch.
+    BatchBegin = 17,
+    /// The batch's engine pass finished and demux begins. `a` = batch id.
+    BatchEnd = 18,
+    /// A pending ticket was drained into a batch. `a` = ticket id,
+    /// `b` = batch id.
+    JoinBatch = 19,
+    /// A ticket was fulfilled (result, engine failure, or shutdown flush).
+    /// `a` = ticket id, `b` = batch id (0 for a shutdown flush).
+    Resolve = 20,
+}
+
+impl EventKind {
+    /// Decode a raw ring word kind; `None` for values this build does not
+    /// know (future kinds, or a torn record read mid-overwrite).
+    pub fn from_u16(raw: u16) -> Option<EventKind> {
+        Some(match raw {
+            1 => EventKind::RunBegin,
+            2 => EventKind::RunEnd,
+            3 => EventKind::PartitionVisitBegin,
+            4 => EventKind::PartitionVisitEnd,
+            5 => EventKind::QueryGroupVisit,
+            6 => EventKind::Yield,
+            7 => EventKind::Claim,
+            8 => EventKind::Steal,
+            9 => EventKind::MailboxDrain,
+            10 => EventKind::Park,
+            11 => EventKind::Unpark,
+            12 => EventKind::PoolDispatch,
+            13 => EventKind::StorageRecycle,
+            14 => EventKind::Submit,
+            15 => EventKind::CacheHit,
+            16 => EventKind::Enqueue,
+            17 => EventKind::BatchBegin,
+            18 => EventKind::BatchEnd,
+            19 => EventKind::JoinBatch,
+            20 => EventKind::Resolve,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase name used as the Chrome-trace slice/instant name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RunBegin | EventKind::RunEnd => "run",
+            EventKind::PartitionVisitBegin | EventKind::PartitionVisitEnd => "partition_visit",
+            EventKind::QueryGroupVisit => "query_group_visit",
+            EventKind::Yield => "yield",
+            EventKind::Claim => "claim",
+            EventKind::Steal => "steal",
+            EventKind::MailboxDrain => "mailbox_drain",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::PoolDispatch => "pool_dispatch",
+            EventKind::StorageRecycle => "storage_recycle",
+            EventKind::Submit => "submit",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::Enqueue => "enqueue",
+            EventKind::BatchBegin | EventKind::BatchEnd => "batch",
+            EventKind::JoinBatch => "join_batch",
+            EventKind::Resolve => "resolve",
+        }
+    }
+}
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the owning [`TraceSink`](crate::TraceSink)'s epoch.
+    pub nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload slot (meaning per [`EventKind`]).
+    pub a: u32,
+    /// Second payload slot.
+    pub b: u32,
+    /// Third payload slot.
+    pub c: u32,
+}
+
+impl TraceEvent {
+    /// Encode into the three ring-buffer words.
+    pub(crate) fn encode(&self) -> [u64; 3] {
+        [
+            self.nanos,
+            ((self.kind as u16 as u64) << 32) | self.a as u64,
+            ((self.c as u64) << 32) | self.b as u64,
+        ]
+    }
+
+    /// Decode three ring-buffer words; `None` when the kind word is unknown
+    /// (possible on a record torn by a concurrent overwrite).
+    pub(crate) fn decode(words: [u64; 3]) -> Option<TraceEvent> {
+        let kind = EventKind::from_u16((words[1] >> 32) as u16)?;
+        Some(TraceEvent {
+            nanos: words[0],
+            kind,
+            a: words[1] as u32,
+            b: words[2] as u32,
+            c: (words[2] >> 32) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let e = TraceEvent {
+            nanos: 0xDEAD_BEEF_CAFE,
+            kind: EventKind::Steal,
+            a: u32::MAX,
+            b: 7,
+            c: 0x8000_0001,
+        };
+        assert_eq!(TraceEvent::decode(e.encode()), Some(e));
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_u16() {
+        for raw in 0u16..64 {
+            if let Some(kind) = EventKind::from_u16(raw) {
+                assert_eq!(kind as u16, raw);
+                assert!(!kind.name().is_empty());
+            }
+        }
+        // The full kind set decodes.
+        for kind in [
+            EventKind::RunBegin,
+            EventKind::RunEnd,
+            EventKind::PartitionVisitBegin,
+            EventKind::PartitionVisitEnd,
+            EventKind::QueryGroupVisit,
+            EventKind::Yield,
+            EventKind::Claim,
+            EventKind::Steal,
+            EventKind::MailboxDrain,
+            EventKind::Park,
+            EventKind::Unpark,
+            EventKind::PoolDispatch,
+            EventKind::StorageRecycle,
+            EventKind::Submit,
+            EventKind::CacheHit,
+            EventKind::Enqueue,
+            EventKind::BatchBegin,
+            EventKind::BatchEnd,
+            EventKind::JoinBatch,
+            EventKind::Resolve,
+        ] {
+            assert_eq!(EventKind::from_u16(kind as u16), Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_decode_to_none() {
+        assert_eq!(EventKind::from_u16(0), None);
+        assert_eq!(EventKind::from_u16(21), None);
+        assert_eq!(EventKind::from_u16(u16::MAX), None);
+        assert_eq!(TraceEvent::decode([0, (21u64) << 32, 0]), None);
+    }
+}

@@ -130,41 +130,14 @@ fn main() {
 
     println!("\n=== fg-service metrics after {answered} answered queries ===");
     println!(
-        "wall time            : {:.2?} ({:.0} q/s)",
+        "wall time: {:.2?} ({:.0} q/s); {mixed_records} batch records with kernels_in_run >= 2",
         elapsed,
         answered as f64 / elapsed.as_secs_f64()
     );
-    println!("submitted / admitted : {} / {}", m.submitted, m.admitted);
-    println!("rejected (shed)      : {}", m.rejected);
-    println!("batches dispatched   : {}", m.batches_dispatched);
-    println!(
-        "batch occupancy      : mean {:.2}, max {}",
-        m.mean_batch_occupancy(),
-        m.max_batch_occupancy
-    );
-    println!(
-        "result cache         : {:.0}% hit rate ({} hits, {} misses)",
-        m.cache_hit_rate() * 100.0,
-        m.cache_hits,
-        m.cache_misses
-    );
-    println!("queue depth          : max {}", m.max_queue_depth);
-    println!("latency              : p50 {:.2?}, p99 {:.2?}", m.latency_p50, m.latency_p99);
-    println!("adaptive workers     : max {} per batch", m.max_batch_workers);
-    println!(
-        "mixed runs           : {} of {} ({:.0}% cross-kernel pass sharing, \
-         {mixed_records} records with kernels_in_run >= 2)",
-        m.mixed_runs,
-        m.batches_dispatched,
-        m.mixed_run_rate() * 100.0
-    );
+    // The snapshots render themselves: `Display` on `ServiceSnapshot` /
+    // `PoolSnapshot` is the one operational summary every tool shares.
+    println!("{m}");
     if let Some(p) = pool {
-        println!(
-            "worker pool          : {} threads spawned, {} dispatches, \
-             {:.0}% mailbox reuse",
-            p.threads_spawned,
-            p.dispatches,
-            p.mailbox_reuse_rate() * 100.0
-        );
+        println!("{p}");
     }
 }

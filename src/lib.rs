@@ -36,6 +36,7 @@ pub use fg_graph as graph;
 pub use fg_metrics as metrics;
 pub use fg_seq as seq;
 pub use fg_service as service;
+pub use fg_trace as trace;
 pub use forkgraph_core as core;
 
 /// Commonly used items, re-exported for convenience.
@@ -54,6 +55,7 @@ pub mod prelude {
         ForkGraphService, InstantiatedKernel, KernelRegistry, Query, QueryParams, QueryResult,
         QuerySpec, ServiceConfig, ServiceError, Ticket,
     };
+    pub use fg_trace::{EventKind, RunProfile, TraceSink};
     pub use forkgraph_core::dynkernel::{erase, DynKernel};
     pub use forkgraph_core::engine::{EngineConfig, ExecutorMode, ForkGraphEngine};
     pub use forkgraph_core::pool::WorkerPool;
