@@ -27,6 +27,9 @@ fn usage(registry: &[experiments::Experiment]) {
     eprintln!("usage: repro [list | all | <experiment>...]");
     eprintln!("       repro --smoke [--json <out.json>]");
     eprintln!(
+        "       repro --wire-smoke [--addr <host:port>] [--json <out.json> | --merge-json <in-out.json>]"
+    );
+    eprintln!(
         "       repro --compare <baseline.json|history-dir> <current.json> [--tolerance <frac>]"
     );
     eprintln!("       repro --validate-trace <trace.json>");
@@ -94,6 +97,48 @@ fn run_smoke(args: &[String]) {
     }
 }
 
+/// `--wire-smoke [--addr HOST:PORT] [--json PATH | --merge-json PATH]`:
+/// drive a server (self-hosted unless `--addr` points at one) with the
+/// multi-connection closed-loop load generator. `--merge-json` folds the
+/// wire metrics into an existing report file — the CI bench job uses it to
+/// produce ONE `BENCH_pr.json` carrying both the smoke and the wire
+/// families, so a baseline containing wire metrics never trips the
+/// missing-metric gate.
+fn run_wire_smoke(args: &[String]) {
+    let addr = args.iter().position(|a| a == "--addr").map(|pos| {
+        args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--addr requires host:port");
+            std::process::exit(1);
+        })
+    });
+    let outcome = fg_bench::wire::run_wire_smoke(addr.as_deref());
+    println!("{}", outcome.table.to_markdown());
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--json requires a path");
+            std::process::exit(1);
+        };
+        std::fs::write(path, outcome.report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[repro] wrote {path}");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--merge-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--merge-json requires a path to an existing report");
+            std::process::exit(1);
+        };
+        let mut merged = read_report(path);
+        merged.merge(&outcome.report);
+        std::fs::write(path, merged.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[repro] merged wire metrics into {path}");
+    }
+}
+
 /// `--compare BASELINE CURRENT [--tolerance FRAC]`: the CI regression gate.
 fn run_compare(args: &[String]) {
     let pos = args.iter().position(|a| a == "--compare").expect("checked by caller");
@@ -122,6 +167,16 @@ fn run_compare(args: &[String]) {
             .map(|b| format!("{:+.1}% vs baseline {b:.1}", (value / b - 1.0) * 100.0))
             .unwrap_or_else(|| "new metric".to_string());
         println!("{name}: {value:.1} ({delta})");
+        if base.is_none() {
+            // Visible but non-fatal: a metric only the newer entry has is
+            // usually a freshly added measurement seeding the next baseline,
+            // but it deserves a reviewer's glance — if it was supposed to
+            // exist in the baseline, the gate isn't actually covering it.
+            eprintln!(
+                "WARN {name}: present only in {current_path}, absent from baseline \
+                 {baseline_path} — ungated until it lands in BENCH_history"
+            );
+        }
     }
     if regressions.is_empty() {
         println!(
@@ -185,6 +240,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--compare") {
         run_compare(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "--wire-smoke") {
+        run_wire_smoke(&args);
         return;
     }
     if args.iter().any(|a| a == "--smoke") {

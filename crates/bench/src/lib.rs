@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod smoke;
+pub mod wire;
 
 use std::io::Write;
 use std::path::PathBuf;

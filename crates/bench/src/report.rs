@@ -40,6 +40,19 @@ impl PerfReport {
         self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Fold `other` into this report: metrics new to `self` are appended,
+    /// name collisions take `other`'s value (last writer wins — the caller
+    /// merging a fresher measurement into an existing file is the common
+    /// case, e.g. `repro --wire-smoke --merge-json BENCH_pr.json`).
+    pub fn merge(&mut self, other: &PerfReport) {
+        for (name, value) in &other.metrics {
+            match self.metrics.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = *value,
+                None => self.metrics.push((name.clone(), *value)),
+            }
+        }
+    }
+
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -247,6 +260,21 @@ mod tests {
         let newest = newest_history_entry(&dir).unwrap();
         assert_eq!(newest.file_name().unwrap(), "0010-later.json");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_appends_new_metrics_and_overwrites_collisions() {
+        let mut base = sample();
+        let mut fresh = PerfReport::new();
+        fresh.push("wire_qps", 900.0);
+        fresh.push("sssp_serial_qps", 130.0); // collision: fresher wins
+        base.merge(&fresh);
+        assert_eq!(base.get("wire_qps"), Some(900.0));
+        assert_eq!(base.get("sssp_serial_qps"), Some(130.0));
+        assert_eq!(base.metrics.len(), 3, "collision must not duplicate the entry");
+        // Emission order is stable: existing metrics first, merged ones after.
+        assert_eq!(base.metrics[0].0, "sssp_serial_qps");
+        assert_eq!(base.metrics[2].0, "wire_qps");
     }
 
     #[test]

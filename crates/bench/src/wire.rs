@@ -1,0 +1,332 @@
+//! The `repro --wire-smoke` workload: a multi-connection, closed-loop load
+//! generator driving a [`fg_server::ForkGraphServer`] over loopback TCP and
+//! measuring **queries per second over the wire** against the in-process
+//! service path on the identical workload.
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default): start a service + server over the standard
+//!   smoke workload ([`crate::smoke::workload`]) in this process and hammer
+//!   it over `127.0.0.1`.
+//! * **External** (`--addr host:port`): drive an already-running server —
+//!   e.g. `examples/server.rs --listen` — which must be serving the same
+//!   deterministic smoke workload, because the generator verifies every
+//!   warm-up response against a locally rebuilt serial oracle.
+//!
+//! The headline ratio is `wire_vs_inproc`: wire qps over in-process service
+//! qps, measured with the result cache **off** on both sides so engine work
+//! dominates and the ratio isolates the loopback + framing + thread-handoff
+//! overhead. At smoke scale a query costs ~1 ms of engine time while a
+//! loopback round trip costs tens of microseconds, so the ratio sits near
+//! 1.0 and is stable enough for the CI regression gate; raw `wire_qps` moves
+//! with runner hardware like every other absolute metric.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_graph::VertexId;
+use fg_metrics::Table;
+use fg_server::{ForkGraphServer, Response, ServerConfig, WireClient, WirePayload};
+use fg_service::{ForkGraphService, Query, ServiceConfig, Ticket};
+use forkgraph_core::{EngineConfig, ForkGraphEngine};
+
+use crate::report::PerfReport;
+use crate::smoke::{workload, Scale};
+
+/// Concurrent connections the generator drives (the acceptance floor is 4).
+pub const WIRE_CLIENTS: usize = 4;
+
+/// Timed sweeps; like the smoke's best-of-N, throughput can only be
+/// under-measured by interference, so best-of wins reject noise.
+const REPEATS: usize = 3;
+
+/// Result of one wire-smoke run.
+pub struct WireSmokeOutcome {
+    /// Metrics for `BENCH_*.json` (`wire_qps`, `inproc_qps`,
+    /// `wire_vs_inproc`).
+    pub report: PerfReport,
+    /// Human-readable rendering of the same numbers.
+    pub table: Table,
+}
+
+/// The service configuration both sides of the comparison use: caching off
+/// (so every query costs real engine work and the ratio is stable) and a
+/// short batch window (so closed-loop clients aren't dominated by window
+/// latency). Public so `examples/server.rs --listen` serves the exact
+/// configuration the generator's in-process denominator measures.
+pub fn smoke_service_config() -> ServiceConfig {
+    ServiceConfig {
+        batch_window: Duration::from_millis(1),
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Start a self-hosted (untraced) server over the smoke workload — what the
+/// generator hammers in self-hosted mode.
+pub fn start_smoke_server(scale: Scale, addr: &str) -> std::io::Result<ForkGraphServer> {
+    let (pg, _) = workload(scale);
+    let service = ForkGraphService::start(
+        Arc::new(pg),
+        EngineConfig::default().with_threads(2),
+        smoke_service_config(),
+    );
+    ForkGraphServer::start(
+        service,
+        ServerConfig { addr: addr.to_string(), ..ServerConfig::default() },
+    )
+}
+
+/// Start a **traced** server over the same workload and configuration — what
+/// `examples/server.rs --listen` serves, so the CI front-door job can pull a
+/// real Chrome dump off the live server's `/trace` endpoint and validate it
+/// structurally. Sharing this constructor with the generator's own
+/// [`smoke_service_config`] keeps the served configuration and the in-process
+/// denominator from drifting apart.
+pub fn start_traced_smoke_server(scale: Scale, addr: &str) -> std::io::Result<ForkGraphServer> {
+    let (pg, _) = workload(scale);
+    let service = ForkGraphService::start_traced(
+        Arc::new(pg),
+        EngineConfig::default().with_threads(2),
+        smoke_service_config(),
+        fg_trace::TraceSink::new(),
+    );
+    ForkGraphServer::start(
+        service,
+        ServerConfig { addr: addr.to_string(), ..ServerConfig::default() },
+    )
+}
+
+/// The query mix: alternating SSSP/BFS over the smoke sources, split
+/// round-robin across clients.
+fn client_share(sources: &[VertexId], client: usize) -> Vec<(&'static str, VertexId)> {
+    sources
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % WIRE_CLIENTS == client)
+        .map(|(i, &source)| (if i % 2 == 0 { "sssp" } else { "bfs" }, source))
+        .collect()
+}
+
+/// One closed-loop sweep on an open connection: pipeline the share, then
+/// drain all responses (backing off on retry-after frames). Returns the
+/// responses in request order for oracle checking.
+fn sweep(client: &mut WireClient, share: &[(&'static str, VertexId)]) -> Vec<Response> {
+    let mut pending: Vec<u32> = Vec::with_capacity(share.len());
+    for (kernel, source) in share {
+        pending.push(client.send(kernel, *source).expect("send over wire"));
+    }
+    client.flush().expect("flush");
+    let mut responses: std::collections::HashMap<u32, Response> =
+        std::collections::HashMap::with_capacity(share.len());
+    let mut outstanding = pending.clone();
+    while !outstanding.is_empty() {
+        let response = client.recv().expect("recv over wire");
+        match response {
+            Response::RetryAfter { correlation, retry_after_ms, .. } => {
+                // Closed-loop backoff: resubmit the shed query after the
+                // server's hint. The correlation changes; track the swap.
+                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1) as u64));
+                let position = pending
+                    .iter()
+                    .position(|&c| c == correlation)
+                    .expect("retry for a correlation we sent");
+                let (kernel, source) = share[position];
+                let fresh = client.send(kernel, source).expect("resend");
+                client.flush().expect("flush resend");
+                for slot in [&mut pending, &mut outstanding] {
+                    if let Some(c) = slot.iter_mut().find(|c| **c == correlation) {
+                        *c = fresh;
+                    }
+                }
+            }
+            other => {
+                let correlation = other.correlation();
+                outstanding.retain(|&c| c != correlation);
+                responses.insert(correlation, other);
+            }
+        }
+    }
+    pending
+        .iter()
+        .map(|correlation| responses.remove(correlation).expect("answered correlation"))
+        .collect()
+}
+
+/// Run the wire smoke against `addr` (external mode) or a self-hosted
+/// server.
+pub fn run_wire_smoke(addr: Option<&str>) -> WireSmokeOutcome {
+    run_wire_smoke_at(Scale::FULL, addr)
+}
+
+/// Run the wire smoke at an explicit scale (tests use [`Scale::TINY`]).
+pub fn run_wire_smoke_at(scale: Scale, addr: Option<&str>) -> WireSmokeOutcome {
+    let (pg, sources) = workload(scale);
+    let pg = Arc::new(pg);
+
+    // Self-host unless pointed at an external server.
+    let own_server = match addr {
+        Some(_) => None,
+        None => Some(start_smoke_server(scale, "127.0.0.1:0").expect("bind loopback")),
+    };
+    let target = match (addr, &own_server) {
+        (Some(addr), _) => addr.to_string(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    // Serial oracle for verification (identical workload on both sides —
+    // external servers must serve `smoke::workload` for this to hold).
+    let oracle_engine = ForkGraphEngine::new(&pg, EngineConfig::default());
+
+    // --- Wire side: warm-up + verify, then timed closed-loop sweeps. ------
+    let total_queries = sources.len();
+    let mut clients: Vec<(WireClient, Vec<(&'static str, VertexId)>)> = (0..WIRE_CLIENTS)
+        .map(|c| {
+            let client = WireClient::connect(target.as_str())
+                .unwrap_or_else(|e| panic!("cannot connect to {target}: {e}"));
+            (client, client_share(&sources, c))
+        })
+        .collect();
+
+    // Warm-up sweep, verified against the oracle: a load generator that can
+    // silently measure wrong answers is worse than no generator.
+    let mut verified = 0usize;
+    for (client, share) in &mut clients {
+        for ((kernel, source), response) in share.iter().zip(sweep(client, share)) {
+            let payload = match response {
+                Response::Result { payload, .. } => payload,
+                other => panic!("warm-up {kernel}({source}) failed: {other:?}"),
+            };
+            match *kernel {
+                "sssp" => assert_eq!(
+                    payload,
+                    WirePayload::U64s(oracle_engine.run_sssp(&[*source]).per_query[0].clone()),
+                    "wire sssp({source}) diverged from the serial oracle"
+                ),
+                _ => assert_eq!(
+                    payload,
+                    WirePayload::U32s(oracle_engine.run_bfs(&[*source]).per_query[0].clone()),
+                    "wire bfs({source}) diverged from the serial oracle"
+                ),
+            }
+            verified += 1;
+        }
+    }
+    assert_eq!(verified, total_queries, "every warm-up response verified");
+
+    // Timed sweeps: all clients run concurrently; a sweep ends when every
+    // connection has drained its share.
+    let mut best_wire_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for (client, share) in &mut clients {
+                scope.spawn(move || {
+                    sweep(client, share);
+                });
+            }
+        });
+        best_wire_secs = best_wire_secs.min(start.elapsed().as_secs_f64());
+    }
+    let wire_qps = total_queries as f64 / best_wire_secs;
+    drop(clients);
+    if let Some(server) = own_server {
+        server.shutdown();
+    }
+
+    // --- In-process side: same workload, same service config, no socket. --
+    let inproc = ForkGraphService::start(
+        Arc::clone(&pg),
+        EngineConfig::default().with_threads(2),
+        smoke_service_config(),
+    );
+    let handle = inproc.handle();
+    let shares: Vec<Vec<(&'static str, VertexId)>> =
+        (0..WIRE_CLIENTS).map(|c| client_share(&sources, c)).collect();
+    let mut best_inproc_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for share in &shares {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let tickets: Vec<Ticket> = share
+                        .iter()
+                        .map(|(kernel, source)| {
+                            handle
+                                .submit_query(Query::kernel(*kernel).source(*source))
+                                .expect("in-process submit")
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        ticket.wait().expect("in-process result");
+                    }
+                });
+            }
+        });
+        best_inproc_secs = best_inproc_secs.min(start.elapsed().as_secs_f64());
+    }
+    let inproc_qps = total_queries as f64 / best_inproc_secs;
+    inproc.shutdown();
+
+    let ratio = wire_qps / inproc_qps;
+    let mut report = PerfReport::new();
+    report.push("wire_qps", wire_qps);
+    report.push("inproc_qps", inproc_qps);
+    report.push("wire_vs_inproc", ratio);
+
+    let mut table = Table::new(
+        format!(
+            "Wire smoke: {WIRE_CLIENTS} pipelined loopback connections vs in-process service \
+             ({total_queries} mixed SSSP/BFS queries, cache off)"
+        )
+        .as_str(),
+        &["path", "qps", "vs in-process"],
+    );
+    table.push_row([
+        "wire (loopback TCP)".to_string(),
+        format!("{wire_qps:.1}"),
+        format!("{ratio:.3}"),
+    ]);
+    table.push_row([
+        "in-process service".to_string(),
+        format!("{inproc_qps:.1}"),
+        "1.000".to_string(),
+    ]);
+    if ratio < 0.5 {
+        eprintln!(
+            "[wire-smoke] WARNING: wire throughput {wire_qps:.1} qps is below half the \
+             in-process {inproc_qps:.1} qps — loopback + framing overhead should be a few \
+             percent at smoke scale, not a 2x tax"
+        );
+    }
+
+    WireSmokeOutcome { report, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_smoke_produces_all_gated_metrics_and_verifies_the_oracle() {
+        let outcome = run_wire_smoke_at(Scale::TINY, None);
+        assert!(outcome.report.get("wire_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("inproc_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("wire_vs_inproc").unwrap() > 0.0);
+        let json = outcome.report.to_json();
+        assert!(PerfReport::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn external_mode_drives_a_separately_started_server() {
+        // Simulates the CI server-smoke job: a detached smoke-workload
+        // server, then the generator pointed at it by address.
+        let server = start_smoke_server(Scale::TINY, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().to_string();
+        let outcome = run_wire_smoke_at(Scale::TINY, Some(&addr));
+        assert!(outcome.report.get("wire_vs_inproc").unwrap() > 0.0);
+        server.shutdown();
+    }
+}

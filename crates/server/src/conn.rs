@@ -1,0 +1,273 @@
+//! Per-connection plumbing: one reader thread + one writer thread, joined by
+//! an outbox queue, multiplexing ticket resolutions back over the socket.
+//!
+//! The reader deserializes frames straight into [`Query`] builder calls and
+//! submits them through the shared [`ServiceHandle`] — the same admission
+//! control local callers face. Admitted queries park as `(correlation,
+//! ticket)` pairs in the outbox; the writer resolves them **in completion
+//! order**, not submission order, so a pipelined connection gets cache hits
+//! back while cold queries are still batching.
+//!
+//! Saturation ([`ServiceError::Saturated`]) is answered with a retry-after
+//! frame and the connection stays open: backpressure sheds *queries*, never
+//! clients. Decodable-but-broken frames get typed error frames; only a
+//! vanished peer or transport failure ends the loops.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_service::{ServiceError, Ticket};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::FrameReadError;
+use crate::framing::{read_frame, write_frame};
+use crate::protocol::{
+    decode_request, encode_response, Response, WireErrorCode, WirePayload, CONNECTION_CORRELATION,
+};
+use crate::server::ServerCore;
+
+/// How long the writer parks on the oldest in-flight ticket before rescanning
+/// the whole set for out-of-order completions.
+const RESCAN_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Work queued for the writer thread.
+enum Outgoing {
+    /// A response that needs no waiting (errors, retry-afters, cache hits
+    /// the reader chose not to special-case).
+    Ready(Response),
+    /// An admitted query: resolve the ticket, then encode whatever it says.
+    Pending { correlation: u32, ticket: Ticket },
+    /// The reader is done; drain everything above, then hang up.
+    Finish,
+}
+
+/// Reader → writer handoff: a mutex-guarded queue plus a condvar so the
+/// writer can sleep when nothing is queued *and* nothing is in flight.
+struct Outbox {
+    queue: Mutex<VecDeque<Outgoing>>,
+    ready: Condvar,
+}
+
+impl Outbox {
+    fn new() -> Self {
+        Outbox { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() }
+    }
+
+    fn push(&self, item: Outgoing) {
+        self.queue.lock().push_back(item);
+        self.ready.notify_one();
+    }
+}
+
+/// Map a service failure to its wire code. `Saturated` is deliberately
+/// absent — it travels as a retry-after frame, never as an error.
+fn error_code(err: &ServiceError) -> WireErrorCode {
+    match err {
+        ServiceError::ShuttingDown => WireErrorCode::ShuttingDown,
+        ServiceError::InvalidSource { .. } => WireErrorCode::InvalidSource,
+        ServiceError::MissingSource { .. } => WireErrorCode::MissingSource,
+        ServiceError::UnknownKernel { .. } => WireErrorCode::UnknownKernel,
+        ServiceError::InvalidParams { .. } => WireErrorCode::InvalidParams,
+        ServiceError::ResultMismatch(_) => WireErrorCode::UnsupportedResult,
+        ServiceError::EngineFailure => WireErrorCode::EngineFailure,
+        // Shouldn't surface from a resolved ticket; keep it typed anyway.
+        ServiceError::Saturated { .. } => WireErrorCode::ShuttingDown,
+    }
+}
+
+/// Drive one sniffed-as-binary connection to completion. Runs on the
+/// connection's reader thread; spawns (and joins) the writer thread.
+pub(crate) fn run_binary_connection(core: Arc<ServerCore>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+
+    let outbox = Arc::new(Outbox::new());
+    let writer_core = Arc::clone(&core);
+    let writer_outbox = Arc::clone(&outbox);
+    let writer = std::thread::Builder::new()
+        .name("fg-server-conn-writer".into())
+        .spawn(move || writer_loop(writer_core, writer_outbox, write_half))
+        .expect("spawn connection writer");
+
+    reader_loop(&core, &outbox, &stream);
+    outbox.push(Outgoing::Finish);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
+    let max_len = core.config.max_frame_len;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let body = match read_frame(&mut reader, max_len) {
+            Ok(body) => body,
+            Err(FrameReadError::Oversized { len, max }) => {
+                // Body already discarded; the stream is still framed.
+                core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                outbox.push(Outgoing::Ready(Response::Error {
+                    correlation: CONNECTION_CORRELATION,
+                    code: WireErrorCode::Protocol,
+                    message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
+                }));
+                continue;
+            }
+            // Clean close, mid-frame close, or transport failure: no further
+            // requests can arrive, so stop reading. In-flight tickets still
+            // drain through the writer.
+            Err(_) => return,
+        };
+        core.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        let request = match decode_request(&body) {
+            Ok(request) => request,
+            Err(err) => {
+                core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                outbox.push(Outgoing::Ready(Response::Error {
+                    correlation: CONNECTION_CORRELATION,
+                    code: WireErrorCode::Protocol,
+                    message: err.to_string(),
+                }));
+                continue;
+            }
+        };
+        if request.correlation == CONNECTION_CORRELATION {
+            core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            outbox.push(Outgoing::Ready(Response::Error {
+                correlation: CONNECTION_CORRELATION,
+                code: WireErrorCode::Protocol,
+                message: "correlation 0 is reserved for connection-level errors".into(),
+            }));
+            continue;
+        }
+        match core.handle.submit_query(request.to_query()) {
+            Ok(ticket) => {
+                outbox.push(Outgoing::Pending { correlation: request.correlation, ticket })
+            }
+            Err(ServiceError::Saturated { queue_depth, capacity }) => {
+                core.stats.retry_afters.fetch_add(1, Ordering::Relaxed);
+                outbox.push(Outgoing::Ready(Response::RetryAfter {
+                    correlation: request.correlation,
+                    retry_after_ms: core.config.retry_after_ms,
+                    queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+                    capacity: capacity.min(u32::MAX as usize) as u32,
+                }));
+            }
+            Err(err) => {
+                outbox.push(Outgoing::Ready(Response::Error {
+                    correlation: request.correlation,
+                    code: error_code(&err),
+                    message: err.to_string(),
+                }));
+            }
+        }
+    }
+}
+
+fn writer_loop(core: Arc<ServerCore>, outbox: Arc<Outbox>, stream: TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    let mut inflight: VecDeque<(u32, Ticket)> = VecDeque::new();
+    let mut finishing = false;
+
+    loop {
+        // Pull everything currently queued (without holding the lock while
+        // encoding or writing).
+        let drained: Vec<Outgoing> = {
+            let mut queue = outbox.queue.lock();
+            if queue.is_empty() && inflight.is_empty() && !finishing {
+                outbox.ready.wait_for(&mut queue, Duration::from_millis(50));
+            }
+            queue.drain(..).collect()
+        };
+
+        let mut wrote = false;
+        for item in drained {
+            match item {
+                Outgoing::Ready(response) => {
+                    if !emit(&core, &mut writer, &response) {
+                        return;
+                    }
+                    wrote = true;
+                }
+                Outgoing::Pending { correlation, ticket } => {
+                    inflight.push_back((correlation, ticket))
+                }
+                Outgoing::Finish => finishing = true,
+            }
+        }
+
+        // Flush completions in whatever order they became ready.
+        let mut still_waiting = VecDeque::with_capacity(inflight.len());
+        for (correlation, ticket) in inflight.drain(..) {
+            match ticket.try_result() {
+                Some(outcome) => {
+                    if !emit(&core, &mut writer, &resolve(&core, correlation, outcome)) {
+                        return;
+                    }
+                    wrote = true;
+                }
+                None => still_waiting.push_back((correlation, ticket)),
+            }
+        }
+        inflight = still_waiting;
+
+        if wrote && writer.flush().is_err() {
+            return;
+        }
+
+        if finishing && inflight.is_empty() {
+            // Everything admitted on this connection has been answered.
+            let _ = writer.flush();
+            return;
+        }
+
+        if !wrote && !inflight.is_empty() {
+            // Nothing was ready: park briefly on the oldest ticket. A newer
+            // ticket may finish first (cache hit overtaking a cold run) —
+            // the bounded timeout caps how stale the rescan can be.
+            let (_, oldest) = &inflight[0];
+            let _ = oldest.wait_timeout(RESCAN_INTERVAL);
+        }
+    }
+}
+
+/// Turn a resolved ticket outcome into its wire frame.
+fn resolve(
+    core: &ServerCore,
+    correlation: u32,
+    outcome: Result<Arc<fg_service::QueryResult>, ServiceError>,
+) -> Response {
+    match outcome {
+        Ok(result) => match WirePayload::from_result(&result) {
+            Some(payload) => Response::Result { correlation, payload },
+            None => Response::Error {
+                correlation,
+                code: WireErrorCode::UnsupportedResult,
+                message: format!(
+                    "kernel {:?} produced a state type with no wire encoding",
+                    result.kernel_name()
+                ),
+            },
+        },
+        Err(ServiceError::Saturated { queue_depth, capacity }) => Response::RetryAfter {
+            correlation,
+            retry_after_ms: core.config.retry_after_ms,
+            queue_depth: queue_depth.min(u32::MAX as usize) as u32,
+            capacity: capacity.min(u32::MAX as usize) as u32,
+        },
+        Err(err) => {
+            Response::Error { correlation, code: error_code(&err), message: err.to_string() }
+        }
+    }
+}
+
+/// Encode and write one frame; `false` means the socket is gone.
+fn emit(core: &ServerCore, writer: &mut impl Write, response: &Response) -> bool {
+    core.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    write_frame(writer, &encode_response(response)).is_ok()
+}

@@ -1,0 +1,202 @@
+//! Typed wire-layer failures.
+//!
+//! Every way a byte stream can disappoint the codec gets its own variant, so
+//! the connection layer (and the property tests) can assert *which* rule a
+//! malformed frame broke instead of pattern-matching error strings. None of
+//! these ever panic the decoder: garbage in, typed error out.
+
+use std::fmt;
+use std::io;
+
+/// A malformed frame body (or frame header) that the codec rejected.
+///
+/// Protocol errors are *recoverable* at the connection level whenever the
+/// length prefix itself was intact: the frame boundary is known, so the
+/// reader can discard the bad body, report the error, and stay in sync for
+/// the next frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The body ended before a field it promised. `expected` is the byte
+    /// count the field needed, `remaining` what was actually left.
+    Truncated {
+        /// Which field ran dry.
+        field: &'static str,
+        /// Bytes the field required.
+        expected: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A frame header declared a body longer than the configured cap.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// The first body byte names no known frame kind.
+    UnknownFrameKind(u8),
+    /// A frame kind that is valid on the wire but wrong for this direction
+    /// (e.g. a response frame arriving at the server).
+    UnexpectedFrameKind {
+        /// The kind byte received.
+        got: u8,
+        /// What the receiver accepts.
+        expected: &'static str,
+    },
+    /// A parameter value carried an unknown type tag.
+    UnknownParamTag(u8),
+    /// A result payload carried an unknown type tag.
+    UnknownPayloadTag(u8),
+    /// An error frame carried an unknown error code.
+    UnknownErrorCode(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// Which field held the bad bytes.
+        field: &'static str,
+    },
+    /// A declared element count could not fit in the bytes that remained
+    /// (rejected *before* allocating, so a hostile count cannot OOM the
+    /// server).
+    BadCount {
+        /// Which field declared the count.
+        field: &'static str,
+        /// The declared element count.
+        count: u64,
+        /// Bytes that remained for the elements.
+        remaining: usize,
+    },
+    /// The body decoded cleanly but left unconsumed bytes — a framing bug on
+    /// the sender, surfaced instead of silently ignored.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated { field, expected, remaining } => {
+                write!(f, "truncated frame: field {field} needs {expected} bytes, {remaining} left")
+            }
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "oversized frame: declared {len} bytes, cap is {max}")
+            }
+            ProtocolError::UnknownFrameKind(kind) => write!(f, "unknown frame kind {kind:#04x}"),
+            ProtocolError::UnexpectedFrameKind { got, expected } => {
+                write!(f, "unexpected frame kind {got:#04x} (receiver accepts {expected})")
+            }
+            ProtocolError::UnknownParamTag(tag) => write!(f, "unknown parameter tag {tag:#04x}"),
+            ProtocolError::UnknownPayloadTag(tag) => write!(f, "unknown payload tag {tag:#04x}"),
+            ProtocolError::UnknownErrorCode(code) => write!(f, "unknown error code {code:#04x}"),
+            ProtocolError::BadUtf8 { field } => write!(f, "field {field} is not valid UTF-8"),
+            ProtocolError::BadCount { field, count, remaining } => {
+                write!(
+                    f,
+                    "field {field} declares {count} elements but only {remaining} bytes remain"
+                )
+            }
+            ProtocolError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete frame body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Why reading the next frame off a connection failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Clean end of stream at a frame boundary — the peer closed; not an
+    /// error condition.
+    Closed,
+    /// End of stream in the middle of a header or body: the peer vanished
+    /// mid-frame. Unlike [`ProtocolError::Truncated`] this is unrecoverable
+    /// (there is no next boundary to resynchronise on).
+    Truncated {
+        /// Bytes still owed by the peer.
+        missing: usize,
+    },
+    /// The declared body length exceeded the cap. The reader has already
+    /// *discarded* the declared bytes, so the stream is still in sync and
+    /// the caller may keep the connection.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Closed => write!(f, "connection closed at a frame boundary"),
+            FrameReadError::Truncated { missing } => {
+                write!(f, "connection closed mid-frame ({missing} bytes short)")
+            }
+            FrameReadError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap (body discarded)")
+            }
+            FrameReadError::Io(e) => write!(f, "frame read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+/// Client-side failure reading or interpreting a server frame.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server closed the connection (cleanly or mid-frame).
+    Closed,
+    /// The server sent bytes the response codec rejects.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Protocol(e) => write!(f, "protocol error from server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Closed | FrameReadError::Truncated { .. } => ClientError::Closed,
+            FrameReadError::Oversized { len, max } => {
+                ClientError::Protocol(ProtocolError::Oversized { len, max })
+            }
+            FrameReadError::Io(e) => ClientError::Io(e),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message travels as `u32-LE body length` + `body`. The length prefix
+//! is the protocol's self-synchronisation property: as long as the prefix of
+//! a frame is intact, the receiver always knows where the *next* frame
+//! starts, so a garbage body costs one typed error, never a desynchronised
+//! connection. Oversized frames are **discarded in bounded chunks** rather
+//! than buffered (a hostile 4 GiB length cannot allocate 4 GiB) and likewise
+//! leave the stream in sync.
+
+use std::io::{Read, Write};
+
+use crate::error::FrameReadError;
+
+/// Default cap on one frame body: 64 MiB, far above any real query or result
+/// on the smoke-scale graphs, far below an allocation-of-death.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Write one frame (length prefix + body). Flushing is the caller's business
+/// so pipelined writers can batch several frames per syscall.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    writer.write_all(&(body.len() as u32).to_le_bytes())?;
+    writer.write_all(body)
+}
+
+/// Read one frame body, enforcing `max_len`.
+///
+/// * Clean EOF before any header byte → [`FrameReadError::Closed`].
+/// * EOF inside the header or body → [`FrameReadError::Truncated`].
+/// * Declared length beyond `max_len` → the body is read **and discarded**
+///   in 64 KiB chunks, then [`FrameReadError::Oversized`] — the stream stays
+///   framed and the caller may answer with a typed error and keep reading.
+pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameReadError> {
+    let mut header = [0u8; 4];
+    read_exact_or_eof(reader, &mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        discard(reader, len)?;
+        return Err(FrameReadError::Oversized { len, max: max_len });
+    }
+    let mut body = vec![0u8; len];
+    read_fully(reader, &mut body)?;
+    Ok(body)
+}
+
+/// Like `read_exact`, but distinguishes "no bytes at all" (clean close) from
+/// "some bytes then EOF" (truncation).
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameReadError::Closed),
+            Ok(0) => return Err(FrameReadError::Truncated { missing: buf.len() - filled }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// `read_exact` with mid-body EOF mapped to [`FrameReadError::Truncated`].
+fn read_fully(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameReadError::Truncated { missing: buf.len() - filled }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read and drop `len` bytes in bounded chunks (oversized-frame recovery).
+fn discard(reader: &mut impl Read, len: usize) -> Result<(), FrameReadError> {
+    let mut scratch = [0u8; 64 * 1024];
+    let mut left = len;
+    while left > 0 {
+        let want = left.min(scratch.len());
+        match reader.read(&mut scratch[..want]) {
+            Ok(0) => return Err(FrameReadError::Truncated { missing: left }),
+            Ok(n) => left -= n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 1000]).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader, MAX_FRAME_LEN).unwrap(), b"first");
+        assert_eq!(read_frame(&mut reader, MAX_FRAME_LEN).unwrap(), b"");
+        assert_eq!(read_frame(&mut reader, MAX_FRAME_LEN).unwrap(), vec![7u8; 1000]);
+        assert!(matches!(read_frame(&mut reader, MAX_FRAME_LEN), Err(FrameReadError::Closed)));
+    }
+
+    #[test]
+    fn clean_close_differs_from_mid_frame_truncation() {
+        // EOF mid-header.
+        let mut reader: &[u8] = &[1, 0];
+        assert!(matches!(
+            read_frame(&mut reader, MAX_FRAME_LEN),
+            Err(FrameReadError::Truncated { missing: 2 })
+        ));
+        // EOF mid-body.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut reader = wire.as_slice();
+        assert!(matches!(
+            read_frame(&mut reader, MAX_FRAME_LEN),
+            Err(FrameReadError::Truncated { missing: 2 })
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_and_the_stream_stays_in_sync() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[9u8; 100]).unwrap(); // over a cap of 16
+        write_frame(&mut wire, b"still here").unwrap();
+        let mut reader = wire.as_slice();
+        match read_frame(&mut reader, 16) {
+            Err(FrameReadError::Oversized { len: 100, max: 16 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The oversized body was consumed: the next frame parses normally.
+        assert_eq!(read_frame(&mut reader, 16).unwrap(), b"still here");
+    }
+
+    #[test]
+    fn hostile_length_does_not_allocate() {
+        // A 4 GiB-1 declared length with only garbage behind it: the reader
+        // must not try to allocate the declared size.
+        let mut wire = u32::MAX.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 32]);
+        let mut reader = wire.as_slice();
+        match read_frame(&mut reader, MAX_FRAME_LEN) {
+            Err(FrameReadError::Truncated { .. }) => {} // ran out while discarding
+            other => panic!("expected Truncated while discarding, got {other:?}"),
+        }
+    }
+}

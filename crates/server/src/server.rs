@@ -1,0 +1,249 @@
+//! The front door itself: a threaded TCP listener multiplexing two dialects
+//! on one port.
+//!
+//! Each accepted socket is *sniffed*: a peer that opens with the 4-byte
+//! [`MAGIC`](crate::protocol::MAGIC) speaks the binary query protocol and
+//! gets a reader/writer thread pair ([`crate::conn`]); anything else is
+//! treated as an HTTP/1.1 scraper and answered by [`crate::http`]. One
+//! listener therefore serves queries, `/metrics`, `/healthz`, and `/trace`.
+//!
+//! Shutdown is a drain, not a guillotine:
+//!
+//! 1. stop accepting new connections,
+//! 2. [`ForkGraphService::begin_drain`] — new submits are shed with a typed
+//!    `ShuttingDown` error while everything already admitted keeps running,
+//! 3. half-close (`Shutdown::Read`) every open connection so readers wind
+//!    down while writers flush each outstanding correlation ID,
+//! 4. join connection threads, then shut the service itself down.
+//!
+//! Every correlation admitted before step 2 is *answered* — resolved or
+//! rejected — before the socket closes.
+
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fg_service::{ForkGraphService, ServiceHandle};
+use parking_lot::Mutex;
+
+use crate::framing::MAX_FRAME_LEN;
+use crate::protocol::MAGIC;
+
+/// Accept-loop poll interval while checking the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long a freshly accepted socket may take to reveal its dialect before
+/// the server hangs up on it.
+const SNIFF_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tuning for [`ForkGraphServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind. Port `0` picks an ephemeral port — read it back via
+    /// [`ForkGraphServer::local_addr`].
+    pub addr: String,
+    /// Per-frame body cap (both directions). Oversized frames are discarded
+    /// and answered with a typed error; the connection survives.
+    pub max_frame_len: usize,
+    /// Backoff hint carried by retry-after frames when admission control
+    /// sheds a query.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_frame_len: MAX_FRAME_LEN,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Wire-level counters, exposed as `fg_server_*` families on `/metrics`.
+#[derive(Default)]
+pub(crate) struct ServerStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) retry_afters: AtomicU64,
+    pub(crate) http_requests: AtomicU64,
+}
+
+/// State shared by the accept loop and every connection thread.
+pub(crate) struct ServerCore {
+    pub(crate) service: ForkGraphService,
+    pub(crate) handle: ServiceHandle,
+    pub(crate) config: ServerConfig,
+    pub(crate) stats: ServerStats,
+    stop: AtomicBool,
+    /// Read-half clones of every live connection, for the shutdown
+    /// half-close. Entries are best-effort; dead sockets are ignored.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Reader-thread handles (each reader joins its own writer).
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerCore {
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// A running front door. Dropping it (or calling [`shutdown`]) drains
+/// connections and stops the underlying service.
+///
+/// [`shutdown`]: ForkGraphServer::shutdown
+pub struct ForkGraphServer {
+    core: Option<Arc<ServerCore>>,
+    accept_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl ForkGraphServer {
+    /// Bind `config.addr` and start serving `service` over it. The server
+    /// takes ownership of the service so shutdown can drain and stop it.
+    pub fn start(service: ForkGraphService, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let handle = service.handle();
+        let core = Arc::new(ServerCore {
+            service,
+            handle,
+            config,
+            stats: ServerStats::default(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+
+        let accept_core = Arc::clone(&core);
+        let accept_thread = std::thread::Builder::new()
+            .name("fg-server-accept".into())
+            .spawn(move || accept_loop(accept_core, listener))?;
+
+        Ok(ForkGraphServer { core: Some(core), accept_thread: Some(accept_thread), local_addr })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A cloneable in-process submission handle to the served service —
+    /// handy for oracles that must bypass the wire.
+    pub fn handle(&self) -> ServiceHandle {
+        self.core.as_ref().expect("server running").handle.clone()
+    }
+
+    /// Point-in-time service metrics (same snapshot `/metrics` exposes).
+    pub fn metrics(&self) -> fg_metrics::ServiceSnapshot {
+        self.core.as_ref().expect("server running").handle.metrics()
+    }
+
+    /// Stop admitting new queries while letting everything in flight finish.
+    /// Idempotent; [`shutdown`](Self::shutdown) calls it implicitly.
+    pub fn begin_drain(&self) {
+        self.core.as_ref().expect("server running").service.begin_drain();
+    }
+
+    /// Drain and stop: refuse new work, answer every outstanding
+    /// correlation ID, close connections, and shut the service down.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(core) = self.core.take() else { return };
+
+        // 1. No new connections.
+        core.stop.store(true, Ordering::Release);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+
+        // 2. No new queries; in-flight tickets keep resolving.
+        core.service.begin_drain();
+
+        // 3. Half-close every connection: readers see EOF and wind down;
+        //    writers drain their in-flight tickets first.
+        for conn in core.conns.lock().iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+
+        // 4. Join connection threads, then stop the service.
+        let threads: Vec<_> = core.conn_threads.lock().drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+
+        // If a straggler thread still holds the Arc, the service's own Drop
+        // will stop it when the last clone dies.
+        if let Ok(core) = Arc::try_unwrap(core) {
+            core.service.shutdown();
+        }
+    }
+}
+
+impl Drop for ForkGraphServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(core: Arc<ServerCore>, listener: TcpListener) {
+    while !core.stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                core.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                spawn_connection(&core, stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient accept failures (per-connection resets); keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
+    // Back to blocking I/O for the connection itself (the listener's
+    // non-blocking flag is inherited on some platforms).
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if let Ok(clone) = stream.try_clone() {
+        core.conns.lock().push(clone);
+    }
+    let conn_core = Arc::clone(core);
+    let spawned = std::thread::Builder::new().name("fg-server-conn".into()).spawn(move || {
+        let _ = stream.set_read_timeout(Some(SNIFF_TIMEOUT));
+        let mut first = [0u8; 4];
+        let mut filled = 0;
+        // Read exactly 4 bytes to classify the dialect. HTTP request lines
+        // are always longer than 4 bytes, so this never stalls a scraper.
+        while filled < first.len() {
+            match (&stream).read(&mut first[filled..]) {
+                Ok(0) => return,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return, // sniff timeout or reset
+            }
+        }
+        let _ = stream.set_read_timeout(None);
+        if first == MAGIC {
+            crate::conn::run_binary_connection(conn_core, stream);
+        } else {
+            crate::http::run_http_connection(&conn_core, stream, &first);
+        }
+    });
+    if let Ok(handle) = spawned {
+        core.conn_threads.lock().push(handle);
+    }
+}

@@ -189,6 +189,12 @@ struct Pending {
 struct Inner {
     queue: VecDeque<Pending>,
     shutdown: bool,
+    /// Drain mode: new submissions are rejected with
+    /// [`ServiceError::ShuttingDown`] while the batcher keeps flushing the
+    /// already-admitted backlog. Unlike `shutdown`, draining does not stop
+    /// the batcher — a front door can stop admitting, let every in-flight
+    /// ticket resolve, and only then tear the service down.
+    draining: bool,
 }
 
 struct Shared {
@@ -265,7 +271,7 @@ impl ServiceHandle {
         }
 
         let mut inner = shared.inner.lock();
-        if inner.shutdown {
+        if inner.shutdown || inner.draining {
             return Err(ServiceError::ShuttingDown);
         }
         let depth = inner.queue.len();
@@ -376,6 +382,25 @@ impl ServiceHandle {
         self.shared.cache.lock().len()
     }
 
+    /// Stop admitting new queries without stopping the batcher: every
+    /// subsequent submission that would enter the queue fails with
+    /// [`ServiceError::ShuttingDown`], while already-admitted queries keep
+    /// flowing through batches and resolve their tickets normally. Cache
+    /// hits are still served (they cost no engine work). Idempotent; there
+    /// is deliberately no un-drain — drain is the first step of a shutdown
+    /// sequence, not a pause button.
+    pub fn begin_drain(&self) {
+        self.shared.inner.lock().draining = true;
+        // Wake the batcher so a drain over an empty queue doesn't leave it
+        // parked until the next (now-rejected) submission.
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Whether [`Self::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.inner.lock().draining
+    }
+
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
         self.shared.counters.snapshot()
@@ -458,7 +483,7 @@ impl ForkGraphService {
         trace: Option<Arc<TraceSink>>,
     ) -> Self {
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false }),
+            inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false, draining: false }),
             work_ready: Condvar::new(),
             counters: Arc::new(ServiceCounters::new()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
@@ -545,6 +570,19 @@ impl ForkGraphService {
             counters: Arc::clone(&self.shared.counters),
             pool: self.pool.clone(),
         })
+    }
+
+    /// Stop admitting new queries while the batcher keeps serving the
+    /// admitted backlog; see [`ServiceHandle::begin_drain`]. A front door
+    /// calls this first, waits for its in-flight tickets to resolve, then
+    /// calls [`Self::shutdown`].
+    pub fn begin_drain(&self) {
+        self.handle().begin_drain();
+    }
+
+    /// Whether [`Self::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.inner.lock().draining
     }
 
     /// Stop accepting queries, flush the already-admitted backlog, join the

@@ -35,6 +35,7 @@ pub use fg_cachesim as cachesim;
 pub use fg_graph as graph;
 pub use fg_metrics as metrics;
 pub use fg_seq as seq;
+pub use fg_server as server;
 pub use fg_service as service;
 pub use fg_trace as trace;
 pub use forkgraph_core as core;
@@ -51,6 +52,9 @@ pub mod prelude {
     pub use fg_graph::{CsrGraph, GraphBuilder, VertexId, Weight};
     pub use fg_metrics::WorkCounters;
     pub use fg_seq::dijkstra::dijkstra;
+    pub use fg_server::{
+        ForkGraphServer, Request, Response, ServerConfig, WireClient, WirePayload,
+    };
     pub use fg_service::{
         ForkGraphService, InstantiatedKernel, KernelRegistry, Query, QueryParams, QueryResult,
         QuerySpec, ServiceConfig, ServiceError, Ticket,
