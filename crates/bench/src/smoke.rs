@@ -8,11 +8,15 @@
 //! throughput can only be under-measured by interference, never
 //! over-measured), reported as queries/second.
 
+use std::sync::Arc;
+
 use fg_graph::gen;
+use fg_graph::mutation::VersionedGraph;
 use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
 use fg_metrics::Table;
+use fg_service::{ForkGraphService, ServiceConfig};
 use forkgraph_core::kernel::FppKernel;
 use forkgraph_core::kernels::SsspKernel;
 use forkgraph_core::operation::Priority;
@@ -92,6 +96,10 @@ pub fn run_smoke() -> SmokeOutcome {
 /// Run the smoke workload at an explicit scale.
 pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
     let (pg, sources) = workload(scale);
+    // Arc'd because the dynamic-graph rows below need a `VersionedGraph`
+    // (and a service) over the same instance; `&pg` still derefs to
+    // `&PartitionedGraph` everywhere an engine borrows it.
+    let pg = Arc::new(pg);
     let mut report = PerfReport::new();
     let mut table = Table::new(
         "Bench smoke: serial vs inter-partition parallel throughput (queries/s)",
@@ -287,6 +295,95 @@ pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
         );
     }
 
+    // Delta-frontier incremental restart vs full recompute: after a monotone
+    // insertion batch, re-seeding SSSP from the changed edges plus the prior
+    // distances must beat — or at the very worst match — rerunning from
+    // scratch on the new graph; that ratio is the whole point of the
+    // incremental path. Interleaved like the pairs above so clock drift
+    // cannot bias the gated ratio.
+    let store = VersionedGraph::new(Arc::clone(&pg));
+    let n_verts = pg.graph().num_vertices() as u32;
+    let mut inserted = 0u32;
+    let mut probe = 0u32;
+    while inserted < 16 {
+        let u = (probe * 131) % n_verts;
+        let v = (probe * 577 + 7) % n_verts;
+        probe += 1;
+        if u == v {
+            continue;
+        }
+        // Weight 1 is the generator's minimum, so every effective change is
+        // a new edge or a decrease — the batch stays monotone by design.
+        store.insert_edge(u, v, 1).expect("endpoints in range");
+        inserted += 1;
+    }
+    let applied = store.quiesce().expect("a pending batch");
+    assert!(applied.monotone, "weight-1 insertions can never be an increase");
+    let prev = direct_engine.run_sssp(&sources).per_query;
+    let delta_engine = ForkGraphEngine::new(&applied.graph, EngineConfig::default());
+    let mut best_full_secs = f64::INFINITY;
+    let mut best_delta_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = std::time::Instant::now();
+        delta_engine.run_sssp(&sources);
+        best_full_secs = best_full_secs.min(start.elapsed().as_secs_f64());
+        let start = std::time::Instant::now();
+        delta_engine.run_sssp_incremental(&sources, prev.clone(), &applied.seed_edges);
+        best_delta_secs = best_delta_secs.min(start.elapsed().as_secs_f64());
+    }
+    // The ratio is only honest if both sides compute the same answer.
+    let full_result = delta_engine.run_sssp(&sources);
+    let delta_result =
+        delta_engine.run_sssp_incremental(&sources, prev.clone(), &applied.seed_edges);
+    assert_eq!(
+        delta_result.per_query, full_result.per_query,
+        "incremental SSSP diverged from the full recompute"
+    );
+    let full_qps = scale.queries as f64 / best_full_secs;
+    let delta_qps = scale.queries as f64 / best_delta_secs;
+    report.push("delta_sssp_qps", delta_qps);
+    report.push("delta_sssp_vs_full", delta_qps / full_qps);
+    table.push_row([
+        "post-mutation full rerun".to_string(),
+        format!("{full_qps:.1}"),
+        "-".to_string(),
+    ]);
+    table.push_row([
+        "post-mutation delta restart".to_string(),
+        format!("{delta_qps:.1}"),
+        "-".to_string(),
+    ]);
+    if delta_qps < full_qps {
+        eprintln!(
+            "[smoke] WARNING: incremental SSSP restart {delta_qps:.1} qps is below the \
+             from-scratch rerun's {full_qps:.1} qps — the delta frontier is costing more \
+             than it saves (gate: delta_sssp_vs_full >= 1.0)"
+        );
+    }
+
+    // Service-level mutation throughput: log a batch of insertions through
+    // the handle and flush once — the log + quiesce + CSR-rebuild write path
+    // a wire `Mutate` frame rides, measured per mutation.
+    let mutation_batch = (scale.queries * 2).max(8);
+    let service =
+        ForkGraphService::start(Arc::clone(&pg), EngineConfig::default(), ServiceConfig::default());
+    let handle = service.handle();
+    let mutate_qps = best_qps(mutation_batch, || {
+        for i in 0..mutation_batch as u32 {
+            let u = (i * 37) % n_verts;
+            let v = (u + 1 + (i * 101) % (n_verts - 1)) % n_verts;
+            handle.insert_edge(u, v, 1 + i % 7).expect("endpoints in range, never a self-loop");
+        }
+        handle.flush_mutations();
+    });
+    service.shutdown();
+    report.push("mutate_qps", mutate_qps);
+    table.push_row([
+        format!("service mutations ({mutation_batch}/flush)"),
+        format!("{mutate_qps:.1}"),
+        "-".to_string(),
+    ]);
+
     // Machine-normalised scaling ratios: parallel-vs-serial on the *same*
     // host. Unlike raw qps these survive runner-hardware changes, so the
     // regression gate catches "the executor silently serialised" even when
@@ -458,6 +555,9 @@ mod tests {
         assert!(outcome.report.get("mixed2_vs_sequential").unwrap() > 0.0);
         assert!(outcome.report.get("sssp_traced_off_qps").unwrap() > 0.0);
         assert!(outcome.report.get("traced_off_vs_untraced").unwrap() > 0.0);
+        assert!(outcome.report.get("delta_sssp_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("delta_sssp_vs_full").unwrap() > 0.0);
+        assert!(outcome.report.get("mutate_qps").unwrap() > 0.0);
         let json = outcome.report.to_json();
         let back = PerfReport::from_json(&json).unwrap();
         assert_eq!(back, report_rounded(&outcome.report));

@@ -21,7 +21,7 @@ use rayon::prelude::*;
 use fg_cachesim::{CacheConfig, GraphAccessTracer};
 use fg_graph::partition::PartitionId;
 use fg_graph::partitioned::PartitionedGraph;
-use fg_graph::{CsrGraph, Dist, VertexId};
+use fg_graph::{CsrGraph, Dist, Edge, VertexId};
 use fg_metrics::{
     CacheNumbers, Measurement, MemoryEstimate, Stopwatch, WorkCounters, WorkSnapshot,
 };
@@ -30,7 +30,7 @@ use fg_seq::random_walk::RandomWalkConfig;
 use fg_trace::{EventKind, Histogram, RunProfile, TraceSink};
 
 use crate::buffer::{ConsolidationMethod, PartitionBuffer};
-use crate::kernel::{FppKernel, KernelDriver};
+use crate::kernel::{FppKernel, IncrementalKernel, KernelDriver};
 use crate::kernels::{BfsKernel, DfsKernel, PprKernel, RandomWalkKernel, SsspKernel};
 use crate::operation::{HeapEntry, Operation, Priority};
 use crate::pool::WorkerPool;
@@ -366,6 +366,79 @@ impl<K: FppKernel> KernelDriver for SingleDriver<'_, K> {
     }
 }
 
+/// The delta-restart [`KernelDriver`]: resumes a converged run from its
+/// previous per-query states, seeding each query with the operations its
+/// edge delta triggers instead of a fresh source op. The visit path is the
+/// same inlined forward to [`ForkGraphEngine::process_query_visit`] as
+/// [`SingleDriver`] — only *initialisation* differs, so an incremental run
+/// is byte-equivalent to a from-scratch run that happened to prune every
+/// already-settled vertex.
+struct IncrementalDriver<'k, K: IncrementalKernel> {
+    kernel: &'k K,
+    /// Previous converged states, taken (once each) by `init_state`.
+    prev: Vec<Mutex<Option<K::State>>>,
+    /// Per-query delta-frontier seeds: `(vertex, value, priority)`.
+    seeds: Vec<Vec<(VertexId, K::Value, Priority)>>,
+}
+
+impl<K: IncrementalKernel> KernelDriver for IncrementalDriver<'_, K> {
+    type Value = K::Value;
+    type State = K::State;
+
+    fn init_state(&self, _graph: &CsrGraph, query: u32) -> K::State {
+        self.prev[query as usize]
+            .lock()
+            .take()
+            .expect("incremental run initialises each query's state exactly once")
+    }
+
+    #[inline]
+    fn source_op(&self, _query: u32, source: VertexId) -> (K::Value, Priority) {
+        // Unused: `seed_ops` is overridden. Kept total for trait hygiene.
+        self.kernel.source_op(source)
+    }
+
+    fn seed_ops(
+        &self,
+        query: u32,
+        _source: VertexId,
+        emit: &mut dyn FnMut(VertexId, K::Value, Priority),
+    ) {
+        for &(vertex, value, priority) in &self.seeds[query as usize] {
+            emit(vertex, value, priority);
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn process_visit(
+        &self,
+        engine: &ForkGraphEngine<'_>,
+        graph: &CsrGraph,
+        partition: PartitionId,
+        query: u32,
+        ops: Vec<Operation<K::Value>>,
+        state: &mut K::State,
+        partition_edges: u64,
+        num_queries: usize,
+        tracer: &GraphAccessTracer,
+        counters: &WorkCounters,
+    ) -> VisitOutcome<K::Value> {
+        engine.process_query_visit(
+            self.kernel,
+            graph,
+            partition,
+            query,
+            ops,
+            state,
+            partition_edges,
+            num_queries,
+            tracer,
+            counters,
+        )
+    }
+}
+
 /// Outcome of one query's processing during one partition visit, as
 /// produced by the engine's internal `process_query_visit` loop: what did
 /// complete locally and where it must go next. Public because the erased
@@ -535,15 +608,17 @@ impl<'g> ForkGraphEngine<'g> {
             (0..num_queries).map(|q| Mutex::new(driver.init_state(graph, q as u32))).collect();
         let mut scheduler = Scheduler::new(self.config.scheduling);
 
-        // InitBuffers(P, Q): seed every query at its source.
+        // InitBuffers(P, Q): seed every query (at its source, or from the
+        // driver's delta frontier).
         for (q, &source) in sources.iter().enumerate() {
-            let (value, priority) = driver.source_op(q as u32, source);
-            let p = self.pg.partition_of(source) as usize;
-            if buffers[p].is_empty() {
-                scheduler.stamp(&mut buffers[p]);
-            }
-            buffers[p].push(Operation::new(q as u32, source, value, priority));
-            counters.add_buffered(1);
+            driver.seed_ops(q as u32, source, &mut |vertex, value, priority| {
+                let p = self.pg.partition_of(vertex) as usize;
+                if buffers[p].is_empty() {
+                    scheduler.stamp(&mut buffers[p]);
+                }
+                buffers[p].push(Operation::new(q as u32, vertex, value, priority));
+                counters.add_buffered(1);
+            });
         }
         let init_done = watch.elapsed();
 
@@ -834,6 +909,70 @@ impl<'g> ForkGraphEngine<'g> {
         crate::multi::run_multi(self, groups)
     }
 
+    /// Resume converged queries after a **monotone** edge delta (insertions
+    /// and weight decreases) instead of recomputing from scratch.
+    ///
+    /// `prev[q]` must be the converged state of a `kernel` run from
+    /// `sources[q]` on the pre-delta graph, and this engine must hold the
+    /// *post*-delta graph. Each query is re-seeded with one operation per
+    /// delta edge that can still improve something
+    /// ([`IncrementalKernel::delta_seed`]); the run then converges to the
+    /// exact post-delta fixpoint, byte-identical to a from-scratch run,
+    /// under every executor mode.
+    ///
+    /// Deletions and weight increases violate the precondition — callers
+    /// must detect them (e.g. via `fg_graph::mutation::AppliedDeltas::
+    /// monotone`) and fall back to [`Self::run`].
+    ///
+    /// # Panics
+    /// Panics if `prev.len() != sources.len()`.
+    pub fn run_incremental<K: IncrementalKernel>(
+        &self,
+        kernel: &K,
+        sources: &[VertexId],
+        prev: Vec<K::State>,
+        delta: &[Edge],
+    ) -> ForkGraphRunResult<K::State> {
+        assert_eq!(
+            prev.len(),
+            sources.len(),
+            "run_incremental: {} previous states for {} sources",
+            prev.len(),
+            sources.len()
+        );
+        let mut total = 0usize;
+        let seeds: Vec<Vec<(VertexId, K::Value, Priority)>> = prev
+            .iter()
+            .map(|state| {
+                let mut per_query = Vec::new();
+                for &(u, v, w) in delta {
+                    if let Some((value, priority)) = kernel.delta_seed(state, u, v, w) {
+                        per_query.push((v, value, priority));
+                        total += 1;
+                    }
+                }
+                per_query
+            })
+            .collect();
+        if total == 0 {
+            // No delta edge can improve any query: the previous states are
+            // already the post-delta fixpoint. Short-circuit — beyond being
+            // pointless, a parallel run that posts zero operations would
+            // never observe quiescence.
+            let counters = WorkCounters::new();
+            let tracer = GraphAccessTracer::disabled();
+            let measurement =
+                self.build_measurement(Duration::ZERO, &counters, &tracer, sources.len());
+            return ForkGraphRunResult { per_query: prev, measurement, profile: None };
+        }
+        let driver = IncrementalDriver {
+            kernel,
+            prev: prev.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+            seeds,
+        };
+        self.run_driver(&driver, sources)
+    }
+
     // -- Convenience runners for the built-in kernels ------------------------
 
     /// Run SSSP queries from every source; returns per-query distance arrays.
@@ -844,6 +983,26 @@ impl<'g> ForkGraphEngine<'g> {
     /// Run BFS queries from every source; returns per-query level arrays.
     pub fn run_bfs(&self, sources: &[VertexId]) -> ForkGraphRunResult<Vec<u32>> {
         self.run(&BfsKernel, sources)
+    }
+
+    /// [`Self::run_incremental`] for the built-in SSSP kernel.
+    pub fn run_sssp_incremental(
+        &self,
+        sources: &[VertexId],
+        prev: Vec<Vec<Dist>>,
+        delta: &[Edge],
+    ) -> ForkGraphRunResult<Vec<Dist>> {
+        self.run_incremental(&SsspKernel, sources, prev, delta)
+    }
+
+    /// [`Self::run_incremental`] for the built-in BFS kernel.
+    pub fn run_bfs_incremental(
+        &self,
+        sources: &[VertexId],
+        prev: Vec<Vec<u32>>,
+        delta: &[Edge],
+    ) -> ForkGraphRunResult<Vec<u32>> {
+        self.run_incremental(&BfsKernel, sources, prev, delta)
     }
 
     /// Run PPR queries from every seed with the given parameters.

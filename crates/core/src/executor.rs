@@ -512,11 +512,14 @@ pub(crate) fn run_parallel<D: KernelDriver>(
         visit_hist: visit_hist.as_ref(),
     };
 
-    // InitBuffers(P, Q): seed every query at its source.
+    // InitBuffers(P, Q): seed every query (at its source, or from the
+    // driver's delta frontier). The caller guarantees at least one seed
+    // operation overall — a run that posts nothing would never quiesce.
     for (q, &source) in sources.iter().enumerate() {
-        let (value, priority) = driver.source_op(q as u32, source);
-        let p = pg.partition_of(source) as usize;
-        run.post(0, p, Operation::new(q as u32, source, value, priority));
+        driver.seed_ops(q as u32, source, &mut |vertex, value, priority| {
+            let p = pg.partition_of(vertex) as usize;
+            run.post(0, p, Operation::new(q as u32, vertex, value, priority));
+        });
     }
     let init_done = watch.elapsed();
 

@@ -19,7 +19,7 @@
 //! one interface — like `fg-service`'s kernel registry — use the object-safe
 //! erasure layer in [`crate::dynkernel`] instead.
 
-use fg_graph::{CsrGraph, VertexId};
+use fg_graph::{CsrGraph, VertexId, Weight};
 
 use crate::operation::Priority;
 
@@ -70,6 +70,32 @@ pub trait FppKernel: Sync {
     }
 }
 
+/// A kernel whose converged state can be *restarted* from an edge delta
+/// instead of recomputed from scratch.
+///
+/// This is sound exactly for monotone relaxation kernels (SSSP, BFS): if
+/// `prev` is the fixpoint on graph `G` and `G'` adds edges or decreases
+/// weights, then re-seeding the run with one operation per changed edge —
+/// the relaxation that edge would now trigger — converges to the exact
+/// fixpoint on `G'`, byte-identical to a from-scratch run, because a
+/// monotone min-fixpoint is independent of relaxation order. Deletions and
+/// weight *increases* break the precondition (the old fixpoint may be too
+/// small); callers detect that case upstream (see
+/// `fg_graph::mutation::AppliedDeltas::monotone`) and fall back to a full
+/// re-run.
+pub trait IncrementalKernel: FppKernel {
+    /// The operation a changed edge `u → v` (new weight `w`) seeds at `v`,
+    /// given the previous converged state: `Some((value, priority))`, or
+    /// `None` when the edge cannot improve anything (e.g. `u` unreached).
+    fn delta_seed(
+        &self,
+        prev: &Self::State,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Option<(Self::Value, Priority)>;
+}
+
 /// What one engine run actually executes: the seam between the run pipeline
 /// (buffers, scheduling, executors) and the kernel code one partition visit
 /// drives.
@@ -111,6 +137,20 @@ pub(crate) trait KernelDriver: Sync {
 
     /// The operation seeding `query` at its source vertex.
     fn source_op(&self, query: u32, source: VertexId) -> (Self::Value, Priority);
+
+    /// Emit the operations that seed `query`. The default — one
+    /// [`source_op`](Self::source_op) at the source vertex — is the
+    /// from-scratch run; incremental drivers override this to seed from a
+    /// delta frontier instead (possibly many operations, possibly none).
+    fn seed_ops(
+        &self,
+        query: u32,
+        source: VertexId,
+        emit: &mut dyn FnMut(VertexId, Self::Value, Priority),
+    ) {
+        let (value, priority) = self.source_op(query, source);
+        emit(source, value, priority);
+    }
 
     /// Process query `query`'s consolidated operations within one partition
     /// visit; see

@@ -1,9 +1,9 @@
 //! BFS kernel: level-ordered traversal. The priority functor is the level
 //! (lowest level from the source first), as described in Section 4.2.
 
-use fg_graph::{CsrGraph, VertexId};
+use fg_graph::{CsrGraph, VertexId, Weight};
 
-use crate::kernel::FppKernel;
+use crate::kernel::{FppKernel, IncrementalKernel};
 use crate::operation::Priority;
 
 /// Breadth-first-search kernel producing hop levels.
@@ -47,6 +47,24 @@ impl FppKernel for BfsKernel {
             }
         }
         edges
+    }
+}
+
+impl IncrementalKernel for BfsKernel {
+    fn delta_seed(
+        &self,
+        prev: &Self::State,
+        u: VertexId,
+        _v: VertexId,
+        _w: Weight,
+    ) -> Option<(Self::Value, Priority)> {
+        // BFS ignores weights: a new edge u → v can only put v at
+        // level(u) + 1. Weight-only decreases seed dominated operations
+        // that the prune in `process` discards, keeping this exact.
+        (prev[u as usize] != u32::MAX).then(|| {
+            let level = prev[u as usize] + 1;
+            (level, level as Priority)
+        })
     }
 }
 

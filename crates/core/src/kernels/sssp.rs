@@ -2,9 +2,9 @@
 //! operations. The priority functor is the tentative distance (shorter paths
 //! first), exactly the Dijkstra functor the paper reuses for BC and LL.
 
-use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use fg_graph::{CsrGraph, Dist, VertexId, Weight, INF_DIST};
 
-use crate::kernel::FppKernel;
+use crate::kernel::{FppKernel, IncrementalKernel};
 use crate::operation::Priority;
 
 /// Single-source shortest paths kernel.
@@ -48,6 +48,23 @@ impl FppKernel for SsspKernel {
             }
         }
         edges
+    }
+}
+
+impl IncrementalKernel for SsspKernel {
+    fn delta_seed(
+        &self,
+        prev: &Self::State,
+        u: VertexId,
+        _v: VertexId,
+        w: Weight,
+    ) -> Option<(Self::Value, Priority)> {
+        // A new/cheaper edge u → v relaxes v to dist(u) + w — the same
+        // operation `process` at u would emit. An unreached u seeds nothing.
+        (prev[u as usize] != INF_DIST).then(|| {
+            let nd = prev[u as usize] + w as Dist;
+            (nd, nd)
+        })
     }
 }
 

@@ -64,7 +64,7 @@ pub mod yield_policy;
 pub use buffer::PartitionBuffer;
 pub use dynkernel::{erase, DynKernel, ErasedState, MultiHooks, MultiKernelHooks};
 pub use engine::{AblationLevel, EngineConfig, ExecutorMode, ForkGraphEngine, ForkGraphRunResult};
-pub use kernel::FppKernel;
+pub use kernel::{FppKernel, IncrementalKernel};
 pub use multi::MultiRunResult;
 pub use operation::{ErasedPayload, MultiValue16, MultiValue8, Operation, Priority};
 pub use pool::WorkerPool;

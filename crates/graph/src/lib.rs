@@ -22,6 +22,9 @@
 //!   partitioner standing in for METIS.
 //! * [`partitioned`] — [`partitioned::PartitionedGraph`], the LLC-sized
 //!   partitioned representation consumed by the ForkGraph engine.
+//! * [`mutation`] — [`VersionedGraph`], the edge-mutation seam: pending
+//!   delta logs merged into fresh snapshots at quiesce points, with
+//!   partition-granular reachability summaries for cache invalidation.
 //! * [`datasets`] — a registry of scaled-down synthetic stand-ins for the eight
 //!   graphs of Table 2 in the paper.
 //! * [`stats`] — degree distributions and other summary statistics.
@@ -31,12 +34,14 @@ pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
+pub mod mutation;
 pub mod partition;
 pub mod partitioned;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use mutation::{AppliedDeltas, EdgeMutation, MutationError, VersionedGraph};
 
 /// Vertex identifier. Graphs in this workspace are bounded by `u32::MAX`
 /// vertices, which comfortably covers the scaled datasets and matches the

@@ -1,0 +1,627 @@
+//! Versioned graph storage with edge mutations.
+//!
+//! The engine and everything above it consume an immutable
+//! [`Arc<PartitionedGraph>`]; this module is the seam that lets the graph
+//! *change* without any in-flight run observing a half-applied batch.
+//!
+//! [`VersionedGraph`] pairs the current snapshot with a pending delta log of
+//! [`EdgeMutation`]s. Writers append to the log at any time; readers keep
+//! whatever snapshot they resolved. At a **quiesce point** — a moment the
+//! owner guarantees no run holds partition state, e.g. between service
+//! batches — [`VersionedGraph::quiesce`] merges the log into a fresh CSR,
+//! re-partitions it under the *same* [`PartitionPlan`] (vertex count is
+//! immutable, so the old assignment stays valid), and atomically swaps the
+//! snapshot. The returned [`AppliedDeltas`] tells the caller everything it
+//! needs for cache invalidation and incremental restart:
+//!
+//! * whether the batch was **monotone** — every effective change is a new
+//!   edge or a weight decrease, so monotone-relaxation kernels (SSSP/BFS)
+//!   can re-converge from the delta frontier instead of from scratch;
+//! * the effective `seed_edges` (final weights) for that restart;
+//! * a partition-granular [`PartitionReachability`] over-approximation of
+//!   which cached sources the batch can possibly affect.
+//!
+//! Reachability is computed on the partition quotient graph (partition `p`
+//! has an arc to `q` iff some edge crosses from `p` to `q`), closed
+//! reflexively and transitively with bitset rows. A mutation on edge
+//! `(u, v)` can only change the result of a source `s` if `s` reaches `u`;
+//! `reaches(part(s), part(u))` over the *union* of old and new quotient
+//! edges over-approximates that for inserts and deletes alike.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::partition::PartitionId;
+use crate::partitioned::PartitionedGraph;
+use crate::{CsrGraph, Edge, VertexId, Weight};
+
+/// A single logged edge mutation.
+///
+/// Semantics at merge time (applied in log order):
+/// * `Insert` of an existing edge overwrites its weight.
+/// * `Delete` of a missing edge is a no-op.
+/// * `UpdateWeight` of a missing edge inserts it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeMutation {
+    /// Add edge `u → v` with weight `w` (or overwrite an existing weight).
+    Insert {
+        /// Source endpoint.
+        u: VertexId,
+        /// Target endpoint.
+        v: VertexId,
+        /// Edge weight.
+        w: Weight,
+    },
+    /// Remove edge `u → v` if present.
+    Delete {
+        /// Source endpoint.
+        u: VertexId,
+        /// Target endpoint.
+        v: VertexId,
+    },
+    /// Set the weight of `u → v` to `w` (inserting if absent).
+    UpdateWeight {
+        /// Source endpoint.
+        u: VertexId,
+        /// Target endpoint.
+        v: VertexId,
+        /// New edge weight.
+        w: Weight,
+    },
+}
+
+impl EdgeMutation {
+    /// The `(u, v)` endpoints the mutation touches.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeMutation::Insert { u, v, .. }
+            | EdgeMutation::Delete { u, v }
+            | EdgeMutation::UpdateWeight { u, v, .. } => (u, v),
+        }
+    }
+}
+
+/// Why a mutation was rejected at log time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationError {
+    /// An endpoint is outside the (immutable) vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// Self-loops are never stored (the builder drops them too).
+    SelfLoop {
+        /// The vertex looping onto itself.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MutationError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            MutationError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} rejected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Reflexive-transitive closure of the partition quotient graph, stored as
+/// one bitset row per source partition.
+#[derive(Clone, Debug)]
+pub struct PartitionReachability {
+    num_partitions: usize,
+    words_per_row: usize,
+    rows: Vec<u64>,
+}
+
+impl PartitionReachability {
+    /// Closure over the quotient adjacency `adj` (same row layout).
+    fn close(num_partitions: usize, adj: &[u64]) -> Self {
+        let words = num_partitions.div_ceil(64).max(1);
+        let mut rows = adj.to_vec();
+        // Reflexive.
+        for p in 0..num_partitions {
+            rows[p * words + p / 64] |= 1u64 << (p % 64);
+        }
+        // Warshall with bitset rows: if i reaches k, i reaches all of row k.
+        for k in 0..num_partitions {
+            for i in 0..num_partitions {
+                if rows[i * words + k / 64] >> (k % 64) & 1 == 1 {
+                    for w in 0..words {
+                        let bits = rows[k * words + w];
+                        rows[i * words + w] |= bits;
+                    }
+                }
+            }
+        }
+        PartitionReachability { num_partitions, words_per_row: words, rows }
+    }
+
+    /// Number of partitions this closure covers.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Can partition `from` reach partition `to` (reflexively)?
+    pub fn reaches(&self, from: PartitionId, to: PartitionId) -> bool {
+        let (from, to) = (from as usize, to as usize);
+        debug_assert!(from < self.num_partitions && to < self.num_partitions);
+        self.rows[from * self.words_per_row + to / 64] >> (to % 64) & 1 == 1
+    }
+
+    /// Partitions that can reach *any* partition in `dirty` — i.e. the set
+    /// of source partitions whose cached results a batch touching `dirty`
+    /// could possibly change. Returned as a dense membership vector.
+    pub fn partitions_reaching(&self, dirty: &[PartitionId]) -> Vec<bool> {
+        let words = self.words_per_row;
+        let mut mask = vec![0u64; words];
+        for &d in dirty {
+            let d = d as usize;
+            debug_assert!(d < self.num_partitions);
+            mask[d / 64] |= 1u64 << (d % 64);
+        }
+        (0..self.num_partitions)
+            .map(|p| (0..words).any(|w| self.rows[p * words + w] & mask[w] != 0))
+            .collect()
+    }
+
+    /// Does `from`'s row intersect the raw bitset `mask` (same word layout)?
+    fn row_intersects(&self, from: PartitionId, mask: &[u64]) -> bool {
+        let words = self.words_per_row;
+        let base = from as usize * words;
+        (0..words).any(|w| self.rows[base + w] & mask[w] != 0)
+    }
+}
+
+/// Quotient adjacency of `graph` under its own partition plan: bit `q` of
+/// row `p` is set iff some edge goes from partition `p` to partition `q`.
+fn quotient_adjacency(pg: &PartitionedGraph) -> Vec<u64> {
+    let parts = pg.num_partitions();
+    let words = parts.div_ceil(64).max(1);
+    let mut adj = vec![0u64; parts * words];
+    for (u, v, _) in pg.graph().edges() {
+        let (pu, pv) = (pg.partition_of(u) as usize, pg.partition_of(v) as usize);
+        adj[pu * words + pv / 64] |= 1u64 << (pv % 64);
+    }
+    adj
+}
+
+/// One applied mutation batch: the new snapshot plus everything the caller
+/// needs for invalidation and incremental restart.
+pub struct AppliedDeltas {
+    /// The post-merge snapshot (same plan, new CSR).
+    pub graph: Arc<PartitionedGraph>,
+    /// Version of the new snapshot.
+    pub version: u64,
+    /// How many logged mutations this batch merged.
+    pub mutations: usize,
+    /// `true` iff every *effective* change was an edge insertion or a weight
+    /// decrease — the precondition for delta-frontier restart of monotone
+    /// relaxation kernels. Any deletion or weight increase clears it.
+    pub monotone: bool,
+    /// Effective inserted/decreased edges with their final weights: the
+    /// delta frontier seeds for an incremental re-run. Only meaningful when
+    /// [`monotone`](Self::monotone); populated regardless.
+    pub seed_edges: Vec<Edge>,
+    /// Partitions containing the source endpoint of an effective change.
+    pub dirty_partitions: Vec<PartitionId>,
+    /// Reachability closure over the *union* of old and new quotient edges —
+    /// safe for deciding which cached sources the batch might affect.
+    pub reach: PartitionReachability,
+}
+
+struct VgInner {
+    current: Arc<PartitionedGraph>,
+    version: u64,
+    pending: Vec<EdgeMutation>,
+    /// Quotient adjacency of `current` (cached so per-mutation reachability
+    /// updates don't rescan the edge list).
+    adj: Vec<u64>,
+    /// Closure over `adj` ∪ pending endpoints' quotient arcs — the
+    /// over-approximation used to answer "could a pending mutation affect
+    /// source s?" before the batch is applied.
+    pending_reach: Option<PartitionReachability>,
+    /// Bitset of partitions containing a pending mutation's source endpoint.
+    pending_touched: Vec<u64>,
+}
+
+impl VgInner {
+    fn words(&self) -> usize {
+        self.current.num_partitions().div_ceil(64).max(1)
+    }
+
+    fn refresh_pending_reach(&mut self) {
+        let parts = self.current.num_partitions();
+        let words = self.words();
+        if self.pending.is_empty() {
+            self.pending_reach = None;
+            self.pending_touched = vec![0u64; words];
+            return;
+        }
+        let mut adj = self.adj.clone();
+        let mut touched = vec![0u64; words];
+        for m in &self.pending {
+            let (u, v) = m.endpoints();
+            let pu = self.current.partition_of(u) as usize;
+            let pv = self.current.partition_of(v) as usize;
+            adj[pu * words + pv / 64] |= 1u64 << (pv % 64);
+            touched[pu / 64] |= 1u64 << (pu % 64);
+        }
+        self.pending_reach = Some(PartitionReachability::close(parts, &adj));
+        self.pending_touched = touched;
+    }
+}
+
+/// The versioned storage seam: an atomically swappable graph snapshot plus a
+/// pending mutation log, merged at quiesce points.
+///
+/// Thread-safe; writers and readers may call concurrently. Only one caller
+/// should drive [`quiesce`](Self::quiesce) (typically the batch loop that
+/// owns the quiesce points), but concurrent quiesce calls are merely
+/// serialized, never incorrect.
+pub struct VersionedGraph {
+    inner: Mutex<VgInner>,
+    applied: Condvar,
+    /// Serializes the (deliberately lock-free-in-the-middle) quiesce merge.
+    quiesce_gate: Mutex<()>,
+}
+
+impl VersionedGraph {
+    /// Wrap `graph` as version 0 with an empty mutation log.
+    pub fn new(graph: Arc<PartitionedGraph>) -> Self {
+        let adj = quotient_adjacency(&graph);
+        let words = graph.num_partitions().div_ceil(64).max(1);
+        VersionedGraph {
+            inner: Mutex::new(VgInner {
+                current: graph,
+                version: 0,
+                pending: Vec::new(),
+                adj,
+                pending_reach: None,
+                pending_touched: vec![0u64; words],
+            }),
+            applied: Condvar::new(),
+            quiesce_gate: Mutex::new(()),
+        }
+    }
+
+    /// The current snapshot. Runs resolved against it stay valid for their
+    /// lifetime; quiesce swaps the pointer, it never mutates the pointee.
+    pub fn current(&self) -> Arc<PartitionedGraph> {
+        Arc::clone(&self.inner.lock().unwrap().current)
+    }
+
+    /// Version of the current snapshot (0 at construction, +1 per applied
+    /// batch).
+    pub fn version(&self) -> u64 {
+        self.inner.lock().unwrap().version
+    }
+
+    /// Number of logged-but-unapplied mutations.
+    pub fn pending_mutations(&self) -> usize {
+        self.inner.lock().unwrap().pending.len()
+    }
+
+    /// Is there anything waiting for the next quiesce point?
+    pub fn has_pending(&self) -> bool {
+        !self.inner.lock().unwrap().pending.is_empty()
+    }
+
+    /// Could *any* pending mutation affect results computed from `source`?
+    /// Over-approximate (partition-granular, union reachability); `false`
+    /// means a cached result for `source` is definitely still fresh.
+    pub fn pending_affects(&self, source: VertexId) -> bool {
+        let inner = self.inner.lock().unwrap();
+        match &inner.pending_reach {
+            None => false,
+            Some(reach) => {
+                let ps = inner.current.partition_of(source);
+                reach.row_intersects(ps, &inner.pending_touched)
+            }
+        }
+    }
+
+    /// Log `insert_edge(u, v, w)`. Returns the version that will first
+    /// contain it (current version + 1).
+    pub fn insert_edge(&self, u: VertexId, v: VertexId, w: Weight) -> Result<u64, MutationError> {
+        self.log(EdgeMutation::Insert { u, v, w })
+    }
+
+    /// Log `delete_edge(u, v)`. Returns the version that will first reflect
+    /// it.
+    pub fn delete_edge(&self, u: VertexId, v: VertexId) -> Result<u64, MutationError> {
+        self.log(EdgeMutation::Delete { u, v })
+    }
+
+    /// Log `update_weight(u, v, w)`. Returns the version that will first
+    /// reflect it.
+    pub fn update_weight(&self, u: VertexId, v: VertexId, w: Weight) -> Result<u64, MutationError> {
+        self.log(EdgeMutation::UpdateWeight { u, v, w })
+    }
+
+    /// Validate and append one mutation to the pending log.
+    pub fn log(&self, mutation: EdgeMutation) -> Result<u64, MutationError> {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.current.graph().num_vertices();
+        let (u, v) = mutation.endpoints();
+        for endpoint in [u, v] {
+            if endpoint as usize >= n {
+                return Err(MutationError::VertexOutOfRange { vertex: endpoint, num_vertices: n });
+            }
+        }
+        if u == v {
+            return Err(MutationError::SelfLoop { vertex: u });
+        }
+        inner.pending.push(mutation);
+        inner.refresh_pending_reach();
+        Ok(inner.version + 1)
+    }
+
+    /// Block until the snapshot version reaches `version` (i.e. every
+    /// mutation logged before the corresponding call has been applied).
+    pub fn wait_for_version(&self, version: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.version < version {
+            inner = self.applied.wait(inner).unwrap();
+        }
+    }
+
+    /// Merge the pending log into a fresh snapshot. Returns `None` when the
+    /// log is empty. Must only be called at a quiesce point: no in-flight
+    /// run may straddle the swap (runs holding the *old* snapshot Arc are
+    /// fine — they just see the pre-batch graph).
+    ///
+    /// Mutations logged concurrently with the merge stay pending for the
+    /// next quiesce; the merge itself holds the inner lock only to take the
+    /// log and to publish the result.
+    pub fn quiesce(&self) -> Option<AppliedDeltas> {
+        let _gate = self.quiesce_gate.lock().unwrap();
+        let (old, batch) = {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.pending.is_empty() {
+                return None;
+            }
+            (Arc::clone(&inner.current), std::mem::take(&mut inner.pending))
+        };
+
+        // Replay the log over the old edge set. BTreeMap keeps (src, dst)
+        // order so the CSR rebuild needs no sort.
+        let csr = old.graph();
+        let mut edges: BTreeMap<(VertexId, VertexId), Weight> =
+            csr.edges().map(|(u, v, w)| ((u, v), w)).collect();
+        let mut monotone = true;
+        // Effective final state per touched endpoint pair, plus the weight
+        // the pair had before the batch (None = absent).
+        let mut touched: BTreeMap<(VertexId, VertexId), Option<Weight>> = BTreeMap::new();
+        for m in &batch {
+            let (u, v) = m.endpoints();
+            touched.entry((u, v)).or_insert_with(|| edges.get(&(u, v)).copied());
+            match *m {
+                EdgeMutation::Insert { u, v, w } | EdgeMutation::UpdateWeight { u, v, w } => {
+                    edges.insert((u, v), w);
+                }
+                EdgeMutation::Delete { u, v } => {
+                    edges.remove(&(u, v));
+                }
+            }
+        }
+
+        let mut seed_edges = Vec::new();
+        let mut dirty = vec![false; old.num_partitions()];
+        for (&(u, v), &before) in &touched {
+            let after = edges.get(&(u, v)).copied();
+            match (before, after) {
+                (None, None) => continue,                                  // net no-op
+                (Some(b), Some(a)) if a == b => continue,                  // net no-op
+                (None, Some(a)) => seed_edges.push((u, v, a)),             // new edge
+                (Some(b), Some(a)) if a < b => seed_edges.push((u, v, a)), // decrease
+                _ => monotone = false, // deletion or weight increase
+            }
+            dirty[old.partition_of(u) as usize] = true;
+        }
+        let dirty_partitions: Vec<PartitionId> =
+            (0..old.num_partitions() as PartitionId).filter(|&p| dirty[p as usize]).collect();
+
+        let flat: Vec<Edge> = edges.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+        let new_csr =
+            Arc::new(CsrGraph::from_sorted_edges(csr.num_vertices(), &flat, csr.is_weighted()));
+        let new_pg =
+            Arc::new(PartitionedGraph::from_plan(new_csr, old.plan().clone(), *old.config()));
+        let new_adj = quotient_adjacency(&new_pg);
+
+        // Union closure: old ∪ new quotient arcs cover both "could reach the
+        // deleted edge" and "can reach the inserted edge".
+        let old_adj = quotient_adjacency(&old);
+        let union: Vec<u64> = old_adj.iter().zip(&new_adj).map(|(a, b)| a | b).collect();
+        let reach = PartitionReachability::close(old.num_partitions(), &union);
+
+        let version = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.current = Arc::clone(&new_pg);
+            inner.version += 1;
+            inner.adj = new_adj;
+            inner.refresh_pending_reach();
+            self.applied.notify_all();
+            inner.version
+        };
+
+        Some(AppliedDeltas {
+            graph: new_pg,
+            version,
+            mutations: batch.len(),
+            monotone,
+            seed_edges,
+            dirty_partitions,
+            reach,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionConfig, PartitionMethod, PartitionPlan};
+
+    /// Fixed even chunking: vertex `v` lands in partition `v / (n / parts)`,
+    /// so tests can reason about the quotient graph exactly.
+    fn pg(edges: &[Edge], n: usize, parts: usize) -> Arc<PartitionedGraph> {
+        let mut sorted = edges.to_vec();
+        sorted.sort_unstable();
+        let csr = Arc::new(CsrGraph::from_sorted_edges(n, &sorted, true));
+        let chunk = n / parts;
+        let plan = PartitionPlan {
+            assignment: (0..n).map(|v| ((v / chunk).min(parts - 1)) as PartitionId).collect(),
+            num_partitions: parts,
+        };
+        Arc::new(PartitionedGraph::from_plan(
+            csr,
+            plan,
+            PartitionConfig::with_partitions(PartitionMethod::Chunked, parts),
+        ))
+    }
+
+    #[test]
+    fn insert_bumps_version_and_adds_edge() {
+        let vg = VersionedGraph::new(pg(&[(0, 1, 5)], 8, 2));
+        assert_eq!(vg.version(), 0);
+        assert!(!vg.has_pending());
+        let target = vg.insert_edge(1, 2, 7).unwrap();
+        assert_eq!(target, 1);
+        assert!(vg.has_pending());
+        let applied = vg.quiesce().expect("one pending mutation");
+        assert_eq!(applied.version, 1);
+        assert_eq!(vg.version(), 1);
+        assert!(applied.monotone);
+        assert_eq!(applied.seed_edges, vec![(1, 2, 7)]);
+        assert_eq!(applied.mutations, 1);
+        let g = vg.current();
+        assert_eq!(g.graph().num_edges(), 2);
+        assert_eq!(g.graph().out_edges(1).collect::<Vec<_>>(), vec![(2, 7)]);
+        assert!(!vg.has_pending());
+        assert!(vg.quiesce().is_none());
+    }
+
+    #[test]
+    fn merge_semantics_follow_log_order() {
+        let vg = VersionedGraph::new(pg(&[(0, 1, 5)], 8, 2));
+        vg.insert_edge(0, 1, 3).unwrap(); // overwrite = decrease
+        vg.delete_edge(2, 3).unwrap(); // delete missing = no-op
+        vg.update_weight(4, 5, 9).unwrap(); // update missing = insert
+        let applied = vg.quiesce().unwrap();
+        assert!(applied.monotone, "no effective delete/increase in this batch");
+        let mut seeds = applied.seed_edges.clone();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![(0, 1, 3), (4, 5, 9)]);
+        let g = vg.current();
+        assert_eq!(g.graph().out_edges(0).collect::<Vec<_>>(), vec![(1, 3)]);
+        assert_eq!(g.graph().out_edges(4).collect::<Vec<_>>(), vec![(5, 9)]);
+        assert_eq!(g.graph().out_neighbors(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn delete_and_increase_clear_monotone() {
+        let base = pg(&[(0, 1, 5), (1, 2, 2)], 8, 2);
+        let vg = VersionedGraph::new(Arc::clone(&base));
+        vg.delete_edge(0, 1).unwrap();
+        let applied = vg.quiesce().unwrap();
+        assert!(!applied.monotone);
+        assert_eq!(vg.current().graph().num_edges(), 1);
+
+        let vg = VersionedGraph::new(base);
+        vg.update_weight(1, 2, 10).unwrap(); // increase
+        assert!(!vg.quiesce().unwrap().monotone);
+    }
+
+    #[test]
+    fn net_noop_batch_is_monotone_with_no_seeds() {
+        let vg = VersionedGraph::new(pg(&[(0, 1, 5)], 8, 2));
+        vg.delete_edge(0, 1).unwrap();
+        vg.insert_edge(0, 1, 5).unwrap(); // restores the original weight
+        let applied = vg.quiesce().unwrap();
+        assert!(applied.monotone);
+        assert!(applied.seed_edges.is_empty());
+        assert!(applied.dirty_partitions.is_empty());
+        assert_eq!(applied.mutations, 2);
+    }
+
+    #[test]
+    fn mutation_validation() {
+        let vg = VersionedGraph::new(pg(&[(0, 1, 5)], 4, 2));
+        assert_eq!(
+            vg.insert_edge(0, 9, 1),
+            Err(MutationError::VertexOutOfRange { vertex: 9, num_vertices: 4 })
+        );
+        assert_eq!(vg.insert_edge(2, 2, 1), Err(MutationError::SelfLoop { vertex: 2 }));
+        assert!(!vg.has_pending());
+    }
+
+    #[test]
+    fn plan_is_preserved_across_quiesce() {
+        let base = pg(&[(0, 1, 1), (4, 5, 1)], 8, 4);
+        let plan_before = base.plan().clone();
+        let vg = VersionedGraph::new(base);
+        vg.insert_edge(1, 4, 2).unwrap();
+        let applied = vg.quiesce().unwrap();
+        assert_eq!(applied.graph.plan(), &plan_before);
+        assert_eq!(applied.graph.num_partitions(), 4);
+    }
+
+    #[test]
+    fn reachability_over_approximates_affected_sources() {
+        // Chunked over 8 vertices / 4 partitions: {0,1} {2,3} {4,5} {6,7}.
+        // Chain 0→2→4: partition 0 reaches 1 reaches 2; partition 3 isolated.
+        let base = pg(&[(0, 2, 1), (2, 4, 1)], 8, 4);
+        let vg = VersionedGraph::new(base);
+        vg.insert_edge(4, 5, 1).unwrap(); // mutation inside partition 2
+
+        // Pending check: sources in partitions 0, 1, 2 can reach partition 2;
+        // partition 3 cannot.
+        assert!(vg.pending_affects(0));
+        assert!(vg.pending_affects(2));
+        assert!(vg.pending_affects(4), "same-partition sources are always affected");
+        assert!(!vg.pending_affects(6));
+
+        let applied = vg.quiesce().unwrap();
+        assert_eq!(applied.dirty_partitions, vec![2]);
+        let affected = applied.reach.partitions_reaching(&applied.dirty_partitions);
+        assert_eq!(affected, vec![true, true, true, false]);
+        assert!(!vg.pending_affects(0), "log drained, nothing pending");
+    }
+
+    #[test]
+    fn union_reachability_covers_deleted_paths() {
+        // 0→2 is the only inter-partition arc; delete it. Old-graph
+        // reachability must still say partition 0 is affected.
+        let vg = VersionedGraph::new(pg(&[(0, 2, 1)], 4, 2));
+        vg.delete_edge(0, 2).unwrap();
+        assert!(vg.pending_affects(0));
+        let applied = vg.quiesce().unwrap();
+        assert!(!applied.monotone);
+        let affected = applied.reach.partitions_reaching(&applied.dirty_partitions);
+        assert!(affected[0], "source partition of the deleted edge is affected");
+    }
+
+    #[test]
+    fn wait_for_version_blocks_until_quiesce() {
+        let vg = Arc::new(VersionedGraph::new(pg(&[(0, 1, 1)], 4, 2)));
+        let target = vg.insert_edge(1, 2, 1).unwrap();
+        let waiter = {
+            let vg = Arc::clone(&vg);
+            std::thread::spawn(move || {
+                vg.wait_for_version(target);
+                vg.version()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        vg.quiesce().unwrap();
+        assert_eq!(waiter.join().unwrap(), target);
+    }
+}

@@ -72,6 +72,14 @@ pub struct ServiceCounters {
     pub max_batch_workers: AtomicU64,
     /// Dispatched runs that consolidated ≥ 2 distinct kernel cohorts.
     pub mixed_runs: AtomicU64,
+    /// Edge mutations merged into the served graph at quiesce points.
+    pub mutations_applied: AtomicU64,
+    /// Cached results evicted because an applied mutation batch could reach
+    /// them (mutation-aware invalidation, not capacity pressure).
+    pub cache_invalidations: AtomicU64,
+    /// Engine runs that resumed from a delta frontier instead of running the
+    /// kernel from scratch.
+    pub incremental_runs: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
     latency_count: AtomicU64,
     /// Ring of recent per-batch sizing decisions (bounded).
@@ -153,6 +161,23 @@ impl ServiceCounters {
         self.batch_records.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
+    /// Record a quiesce point that merged `count` edge mutations into the
+    /// served graph.
+    pub fn on_mutations_applied(&self, count: usize) {
+        self.mutations_applied.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Record `count` cached results evicted by mutation-aware invalidation.
+    pub fn on_cache_invalidations(&self, count: usize) {
+        self.cache_invalidations.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Record one engine run that restarted from a delta frontier instead of
+    /// recomputing from scratch.
+    pub fn on_incremental_run(&self) {
+        self.incremental_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one query's end-to-end (submit → result available) latency.
     pub fn record_latency(&self, latency: Duration) {
         let n = self.latency_count.fetch_add(1, Ordering::Relaxed) as usize;
@@ -195,6 +220,9 @@ impl ServiceCounters {
             max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
             max_batch_workers: self.max_batch_workers.load(Ordering::Relaxed),
             mixed_runs: self.mixed_runs.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            incremental_runs: self.incremental_runs.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             latency_p50: percentile(0.50),
@@ -220,6 +248,12 @@ pub struct ServiceSnapshot {
     /// Dispatched runs that carried ≥ 2 distinct kernel cohorts
     /// (heterogeneous `run_multi` consolidation).
     pub mixed_runs: u64,
+    /// Edge mutations merged into the served graph at quiesce points.
+    pub mutations_applied: u64,
+    /// Cached results evicted by mutation-aware invalidation.
+    pub cache_invalidations: u64,
+    /// Engine runs resumed from a delta frontier instead of from scratch.
+    pub incremental_runs: u64,
     pub queue_depth: u64,
     pub max_queue_depth: u64,
     /// Median submit→result latency over the retained reservoir.
@@ -294,6 +328,11 @@ impl fmt::Display for ServiceSnapshot {
             self.mixed_runs,
             100.0 * self.mixed_run_rate()
         )?;
+        writeln!(
+            f,
+            "  dynamic: {} mutations applied, {} invalidations, {} incremental runs",
+            self.mutations_applied, self.cache_invalidations, self.incremental_runs
+        )?;
         write!(
             f,
             "  latency: p50 {:.3?}, p99 {:.3?} ({} samples)",
@@ -329,6 +368,21 @@ mod tests {
         assert_eq!(s.queue_depth, 0);
         assert!((s.mean_batch_occupancy() - 2.0).abs() < 1e-12);
         assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutation_counters_accumulate() {
+        let c = ServiceCounters::new();
+        c.on_mutations_applied(3);
+        c.on_mutations_applied(2);
+        c.on_cache_invalidations(7);
+        c.on_incremental_run();
+        let s = c.snapshot();
+        assert_eq!(s.mutations_applied, 5);
+        assert_eq!(s.cache_invalidations, 7);
+        assert_eq!(s.incremental_runs, 1);
+        let text = format!("{s}");
+        assert!(text.contains("5 mutations applied"), "{text}");
     }
 
     #[test]
@@ -425,7 +479,7 @@ mod tests {
     fn display_is_compact_and_nan_free_when_empty() {
         let text = format!("{}", ServiceSnapshot::default());
         assert!(!text.contains("NaN"), "{text}");
-        assert!(text.lines().count() <= 5, "{text}");
+        assert!(text.lines().count() <= 6, "{text}");
         assert!(text.contains("0 submitted"), "{text}");
 
         let populated = ServiceSnapshot {

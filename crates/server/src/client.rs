@@ -10,9 +10,13 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use fg_service::EdgeMutation;
+
 use crate::error::ClientError;
 use crate::framing::{read_frame, write_frame, MAX_FRAME_LEN};
-use crate::protocol::{decode_response, encode_request, Request, Response, MAGIC};
+use crate::protocol::{
+    decode_response, encode_mutate, encode_request, MutateRequest, Request, Response, MAGIC,
+};
 
 /// A blocking connection to a [`ForkGraphServer`](crate::ForkGraphServer).
 pub struct WireClient {
@@ -62,6 +66,45 @@ impl WireClient {
         self.next_correlation =
             self.next_correlation.max(request.correlation).wrapping_add(1).max(1);
         Ok(())
+    }
+
+    /// Queue one edge mutation; returns the correlation ID whose
+    /// acknowledgement (a [`WirePayload::Version`] result frame, or a typed
+    /// error) to match against. Call [`flush`](Self::flush) before blocking
+    /// on [`recv`](Self::recv).
+    ///
+    /// [`WirePayload::Version`]: crate::protocol::WirePayload::Version
+    pub fn send_mutation(&mut self, mutation: EdgeMutation) -> Result<u32, ClientError> {
+        let correlation = self.next_correlation;
+        self.send_mutate_request(&MutateRequest { correlation, mutation })?;
+        Ok(correlation)
+    }
+
+    /// Queue a fully built mutate frame (caller picks the correlation ID).
+    pub fn send_mutate_request(&mut self, request: &MutateRequest) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &encode_mutate(request))?;
+        self.next_correlation =
+            self.next_correlation.max(request.correlation).wrapping_add(1).max(1);
+        Ok(())
+    }
+
+    /// One mutation round trip: send, flush, and wait for the
+    /// acknowledgement, surfacing out-of-order responses to earlier
+    /// pipelined requests through `stray`.
+    pub fn mutate(
+        &mut self,
+        mutation: EdgeMutation,
+        mut stray: impl FnMut(Response),
+    ) -> Result<Response, ClientError> {
+        let correlation = self.send_mutation(mutation)?;
+        self.flush()?;
+        loop {
+            let response = self.recv()?;
+            if response.correlation() == correlation {
+                return Ok(response);
+            }
+            stray(response);
+        }
     }
 
     /// Push all queued frames onto the socket.

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,7 +26,8 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::FrameReadError;
 use crate::framing::{read_frame, write_frame};
 use crate::protocol::{
-    decode_request, encode_response, Response, WireErrorCode, WirePayload, CONNECTION_CORRELATION,
+    decode_client_frame, encode_response, ClientFrame, Response, WireErrorCode, WirePayload,
+    CONNECTION_CORRELATION,
 };
 use crate::server::ServerCore;
 
@@ -74,9 +75,15 @@ fn error_code(err: &ServiceError) -> WireErrorCode {
         ServiceError::InvalidParams { .. } => WireErrorCode::InvalidParams,
         ServiceError::ResultMismatch(_) => WireErrorCode::UnsupportedResult,
         ServiceError::EngineFailure => WireErrorCode::EngineFailure,
+        ServiceError::InvalidMutation { .. } => WireErrorCode::InvalidMutation,
         // Shouldn't surface from a resolved ticket; keep it typed anyway.
         ServiceError::Saturated { .. } => WireErrorCode::ShuttingDown,
     }
+}
+
+/// Clamp a `usize` counter into the `u32` a wire frame carries.
+pub(crate) fn clamp_u32(value: usize) -> u32 {
+    value.min(u32::MAX as usize) as u32
 }
 
 /// Drive one sniffed-as-binary connection to completion. Runs on the
@@ -89,20 +96,24 @@ pub(crate) fn run_binary_connection(core: Arc<ServerCore>, stream: TcpStream) {
     };
 
     let outbox = Arc::new(Outbox::new());
+    // Queries admitted but not yet answered on this connection; incremented
+    // by the reader on admission, decremented by the writer on resolution.
+    let inflight = Arc::new(AtomicUsize::new(0));
     let writer_core = Arc::clone(&core);
     let writer_outbox = Arc::clone(&outbox);
+    let writer_inflight = Arc::clone(&inflight);
     let writer = std::thread::Builder::new()
         .name("fg-server-conn-writer".into())
-        .spawn(move || writer_loop(writer_core, writer_outbox, write_half))
+        .spawn(move || writer_loop(writer_core, writer_outbox, writer_inflight, write_half))
         .expect("spawn connection writer");
 
-    reader_loop(&core, &outbox, &stream);
+    reader_loop(&core, &outbox, &inflight, &stream);
     outbox.push(Outgoing::Finish);
     let _ = writer.join();
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
+fn reader_loop(core: &ServerCore, outbox: &Outbox, inflight: &AtomicUsize, stream: &TcpStream) {
     let max_len = core.config.max_frame_len;
     let mut reader = BufReader::new(stream);
     loop {
@@ -124,8 +135,8 @@ fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
             Err(_) => return,
         };
         core.stats.frames_in.fetch_add(1, Ordering::Relaxed);
-        let request = match decode_request(&body) {
-            Ok(request) => request,
+        let frame = match decode_client_frame(&body) {
+            Ok(frame) => frame,
             Err(err) => {
                 core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 outbox.push(Outgoing::Ready(Response::Error {
@@ -136,7 +147,11 @@ fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
                 continue;
             }
         };
-        if request.correlation == CONNECTION_CORRELATION {
+        let correlation = match &frame {
+            ClientFrame::Query(request) => request.correlation,
+            ClientFrame::Mutate(request) => request.correlation,
+        };
+        if correlation == CONNECTION_CORRELATION {
             core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
             outbox.push(Outgoing::Ready(Response::Error {
                 correlation: CONNECTION_CORRELATION,
@@ -145,22 +160,57 @@ fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
             }));
             continue;
         }
+        let request = match frame {
+            // Mutations are logged synchronously (no ticket, no engine run);
+            // the acknowledgement carries the target graph version.
+            ClientFrame::Mutate(request) => {
+                let response = match core.handle.mutate(request.mutation) {
+                    Ok(version) => {
+                        Response::Result { correlation, payload: WirePayload::Version(version) }
+                    }
+                    Err(err) => Response::Error {
+                        correlation,
+                        code: error_code(&err),
+                        message: err.to_string(),
+                    },
+                };
+                outbox.push(Outgoing::Ready(response));
+                continue;
+            }
+            ClientFrame::Query(request) => request,
+        };
+        // Bound this connection's admitted-but-unanswered queries: one
+        // pipelining peer must not park the whole service's queue capacity
+        // behind its own socket. Over-limit requests are shed with the same
+        // retry-after flow control as service saturation.
+        let observed = inflight.load(Ordering::Acquire);
+        if observed >= core.config.max_inflight_per_conn {
+            core.stats.retry_afters.fetch_add(1, Ordering::Relaxed);
+            outbox.push(Outgoing::Ready(Response::RetryAfter {
+                correlation,
+                retry_after_ms: core.config.retry_after_ms,
+                queue_depth: clamp_u32(observed),
+                capacity: clamp_u32(core.config.max_inflight_per_conn),
+            }));
+            continue;
+        }
         match core.handle.submit_query(request.to_query()) {
             Ok(ticket) => {
-                outbox.push(Outgoing::Pending { correlation: request.correlation, ticket })
+                inflight.fetch_add(1, Ordering::AcqRel);
+                outbox.push(Outgoing::Pending { correlation, ticket });
             }
             Err(ServiceError::Saturated { queue_depth, capacity }) => {
                 core.stats.retry_afters.fetch_add(1, Ordering::Relaxed);
                 outbox.push(Outgoing::Ready(Response::RetryAfter {
-                    correlation: request.correlation,
+                    correlation,
                     retry_after_ms: core.config.retry_after_ms,
-                    queue_depth: queue_depth.min(u32::MAX as usize) as u32,
-                    capacity: capacity.min(u32::MAX as usize) as u32,
+                    queue_depth: clamp_u32(queue_depth),
+                    capacity: clamp_u32(capacity),
                 }));
             }
             Err(err) => {
                 outbox.push(Outgoing::Ready(Response::Error {
-                    correlation: request.correlation,
+                    correlation,
                     code: error_code(&err),
                     message: err.to_string(),
                 }));
@@ -169,7 +219,12 @@ fn reader_loop(core: &ServerCore, outbox: &Outbox, stream: &TcpStream) {
     }
 }
 
-fn writer_loop(core: Arc<ServerCore>, outbox: Arc<Outbox>, stream: TcpStream) {
+fn writer_loop(
+    core: Arc<ServerCore>,
+    outbox: Arc<Outbox>,
+    inflight_count: Arc<AtomicUsize>,
+    stream: TcpStream,
+) {
     let mut writer = BufWriter::new(stream);
     let mut inflight: VecDeque<(u32, Ticket)> = VecDeque::new();
     let mut finishing = false;
@@ -206,6 +261,7 @@ fn writer_loop(core: Arc<ServerCore>, outbox: Arc<Outbox>, stream: TcpStream) {
         for (correlation, ticket) in inflight.drain(..) {
             match ticket.try_result() {
                 Some(outcome) => {
+                    inflight_count.fetch_sub(1, Ordering::AcqRel);
                     if !emit(&core, &mut writer, &resolve(&core, correlation, outcome)) {
                         return;
                     }
@@ -257,8 +313,8 @@ fn resolve(
         Err(ServiceError::Saturated { queue_depth, capacity }) => Response::RetryAfter {
             correlation,
             retry_after_ms: core.config.retry_after_ms,
-            queue_depth: queue_depth.min(u32::MAX as usize) as u32,
-            capacity: capacity.min(u32::MAX as usize) as u32,
+            queue_depth: clamp_u32(queue_depth),
+            capacity: clamp_u32(capacity),
         },
         Err(err) => {
             Response::Error { correlation, code: error_code(&err), message: err.to_string() }

@@ -45,6 +45,8 @@ pub enum ProtocolError {
     },
     /// A parameter value carried an unknown type tag.
     UnknownParamTag(u8),
+    /// A mutate frame carried an unknown operation byte.
+    UnknownMutationOp(u8),
     /// A result payload carried an unknown type tag.
     UnknownPayloadTag(u8),
     /// An error frame carried an unknown error code.
@@ -87,6 +89,7 @@ impl fmt::Display for ProtocolError {
                 write!(f, "unexpected frame kind {got:#04x} (receiver accepts {expected})")
             }
             ProtocolError::UnknownParamTag(tag) => write!(f, "unknown parameter tag {tag:#04x}"),
+            ProtocolError::UnknownMutationOp(op) => write!(f, "unknown mutation op {op:#04x}"),
             ProtocolError::UnknownPayloadTag(tag) => write!(f, "unknown payload tag {tag:#04x}"),
             ProtocolError::UnknownErrorCode(code) => write!(f, "unknown error code {code:#04x}"),
             ProtocolError::BadUtf8 { field } => write!(f, "field {field} is not valid UTF-8"),

@@ -101,11 +101,16 @@ pub(crate) fn metrics_body(core: &ServerCore) -> String {
         }
     };
     let stats = &core.stats;
-    let families: [(&str, &str, u64); 6] = [
+    let families: [(&str, &str, u64); 7] = [
         (
             "fg_server_connections_accepted_total",
             "Connections accepted by the front door listener",
             stats.connections_accepted.load(Ordering::Relaxed),
+        ),
+        (
+            "fg_server_connections_rejected_total",
+            "Connections shed at accept time by the concurrency cap",
+            stats.connections_rejected.load(Ordering::Relaxed),
         ),
         (
             "fg_server_frames_in_total",

@@ -51,5 +51,9 @@ pub mod protocol;
 
 pub use client::WireClient;
 pub use error::{ClientError, FrameReadError, ProtocolError};
-pub use protocol::{Request, Response, WireErrorCode, WirePayload, MAGIC};
+pub use fg_service::EdgeMutation;
+pub use protocol::{
+    ClientFrame, MutateRequest, Request, Response, WireErrorCode, WirePayload,
+    CONNECTION_CORRELATION, MAGIC,
+};
 pub use server::{ForkGraphServer, ServerConfig};

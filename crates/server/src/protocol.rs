@@ -11,6 +11,11 @@
 //! | `2` result       | server → client | `u32 correlation`, `u8 tag` + payload |
 //! | `3` error        | server → client | `u32 correlation`, `u8 code`, `u32 len + utf8` message |
 //! | `4` retry-after  | server → client | `u32 correlation`, `u32 retry_after_ms`, `u32 queue_depth`, `u32 capacity` |
+//! | `5` mutate       | client → server | `u32 correlation`, `u8 op` (1 insert, 2 delete, 3 update-weight), `u32 u`, `u32 v`, `u32 w` (zero for delete) |
+//!
+//! A mutate frame is acknowledged with a result frame whose payload is the
+//! graph version (tag `6`) that will first contain the mutation, or a typed
+//! error ([`WireErrorCode::InvalidMutation`]).
 //!
 //! Parameter values mirror [`ParamValue`] exactly (tags: bool `0`, u64 `1`,
 //! i64 `2`, f64-bits `3`, str `4`), so anything expressible through
@@ -23,7 +28,7 @@
 //! is the point of the IDs: a connection can pipeline many in-flight
 //! queries, and a cache hit overtakes a cold run.
 
-use fg_service::{ParamValue, Query, QueryResult};
+use fg_service::{EdgeMutation, ParamValue, Query, QueryResult};
 use forkgraph_core::kernels::{PprState, RwState};
 
 use crate::error::ProtocolError;
@@ -40,6 +45,11 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESULT: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_RETRY_AFTER: u8 = 4;
+const KIND_MUTATE: u8 = 5;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_UPDATE: u8 = 3;
 
 /// One query as it travels the wire. Mirrors the [`Query`] builder: kernel
 /// name, source vertex, typed parameters.
@@ -78,6 +88,26 @@ impl Request {
     }
 }
 
+/// One edge mutation as it travels the wire; acknowledged with a
+/// version-payload result frame under the same correlation ID.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateRequest {
+    /// Client-chosen pipelining ID (`!= 0`); echoed on the acknowledgement.
+    pub correlation: u32,
+    /// The mutation, in the service's own vocabulary — the wire adds no
+    /// semantics here either.
+    pub mutation: EdgeMutation,
+}
+
+/// A decoded client → server frame: either a query or a mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// A `1` request frame.
+    Query(Request),
+    /// A `5` mutate frame.
+    Mutate(MutateRequest),
+}
+
 /// A query result's state, encoded for transport. Covers every built-in
 /// kernel state plus the common custom-kernel shapes (`Vec` of fixed-width
 /// numbers); a registered kernel whose state downcasts to none of these is
@@ -104,6 +134,9 @@ pub enum WirePayload {
         /// Walker visits per vertex.
         visits: Vec<u64>,
     },
+    /// Mutation acknowledgement: the graph version that will first contain
+    /// the logged mutation. Tag `6`.
+    Version(u64),
 }
 
 impl WirePayload {
@@ -157,6 +190,9 @@ pub enum WireErrorCode {
     /// The peer sent a frame this side could not decode (correlation `0`
     /// when the ID itself was unreadable).
     Protocol = 8,
+    /// The mutation was rejected before it reached the log (endpoint out of
+    /// range, self-loop).
+    InvalidMutation = 9,
 }
 
 impl WireErrorCode {
@@ -170,6 +206,7 @@ impl WireErrorCode {
             6 => WireErrorCode::EngineFailure,
             7 => WireErrorCode::UnsupportedResult,
             8 => WireErrorCode::Protocol,
+            9 => WireErrorCode::InvalidMutation,
             other => return Err(ProtocolError::UnknownErrorCode(other)),
         })
     }
@@ -275,6 +312,23 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     out
 }
 
+/// Serialize a mutate frame body.
+pub fn encode_mutate(request: &MutateRequest) -> Vec<u8> {
+    let (op, u, v, w) = match request.mutation {
+        EdgeMutation::Insert { u, v, w } => (OP_INSERT, u, v, w),
+        EdgeMutation::Delete { u, v } => (OP_DELETE, u, v, 0),
+        EdgeMutation::UpdateWeight { u, v, w } => (OP_UPDATE, u, v, w),
+    };
+    let mut out = Vec::with_capacity(18);
+    out.push(KIND_MUTATE);
+    out.extend_from_slice(&request.correlation.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(&u.to_le_bytes());
+    out.extend_from_slice(&v.to_le_bytes());
+    out.extend_from_slice(&w.to_le_bytes());
+    out
+}
+
 fn put_u32s(out: &mut Vec<u8>, values: &[u32]) {
     out.extend_from_slice(&(values.len() as u64).to_le_bytes());
     for v in values {
@@ -325,6 +379,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 WirePayload::Rw { visits } => {
                     out.push(5);
                     put_u64s(&mut out, visits);
+                }
+                WirePayload::Version(version) => {
+                    out.push(6);
+                    out.extend_from_slice(&version.to_le_bytes());
                 }
             }
         }
@@ -452,13 +510,43 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode a client → server frame body.
+/// Decode any client → server frame body (query or mutation) — the server
+/// reader's entry point.
+pub fn decode_client_frame(body: &[u8]) -> Result<ClientFrame, ProtocolError> {
+    match body.first() {
+        Some(&KIND_MUTATE) => {
+            let mut cursor = Cursor::new(body);
+            let _ = cursor.u8("frame kind")?;
+            let correlation = cursor.u32("correlation")?;
+            let op = cursor.u8("mutation op")?;
+            let u = cursor.u32("mutation u")?;
+            let v = cursor.u32("mutation v")?;
+            let w = cursor.u32("mutation w")?;
+            cursor.finish()?;
+            let mutation = match op {
+                OP_INSERT => EdgeMutation::Insert { u, v, w },
+                OP_DELETE => EdgeMutation::Delete { u, v },
+                OP_UPDATE => EdgeMutation::UpdateWeight { u, v, w },
+                other => return Err(ProtocolError::UnknownMutationOp(other)),
+            };
+            Ok(ClientFrame::Mutate(MutateRequest { correlation, mutation }))
+        }
+        _ => Ok(ClientFrame::Query(decode_request(body)?)),
+    }
+}
+
+/// Decode a client → server *query* frame body. Strict: a mutate frame is an
+/// [`ProtocolError::UnexpectedFrameKind`] here — callers that accept both
+/// use [`decode_client_frame`].
 pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
     let mut cursor = Cursor::new(body);
     match cursor.u8("frame kind")? {
         KIND_REQUEST => {}
-        kind @ (KIND_RESULT | KIND_ERROR | KIND_RETRY_AFTER) => {
-            return Err(ProtocolError::UnexpectedFrameKind { got: kind, expected: "requests" })
+        kind @ (KIND_RESULT | KIND_ERROR | KIND_RETRY_AFTER | KIND_MUTATE) => {
+            return Err(ProtocolError::UnexpectedFrameKind {
+                got: kind,
+                expected: "query requests",
+            })
         }
         other => return Err(ProtocolError::UnknownFrameKind(other)),
     }
@@ -500,6 +588,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                     pushes: cursor.u64("ppr pushes")?,
                 },
                 5 => WirePayload::Rw { visits: cursor.u64s("rw visits")? },
+                6 => WirePayload::Version(cursor.u64("graph version")?),
                 other => return Err(ProtocolError::UnknownPayloadTag(other)),
             };
             Response::Result { correlation, payload }
@@ -515,7 +604,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
             queue_depth: cursor.u32("queue depth")?,
             capacity: cursor.u32("queue capacity")?,
         },
-        KIND_REQUEST => {
+        KIND_REQUEST | KIND_MUTATE => {
             return Err(ProtocolError::UnexpectedFrameKind { got: kind, expected: "responses" })
         }
         other => return Err(ProtocolError::UnknownFrameKind(other)),
@@ -589,6 +678,54 @@ mod tests {
                 _ => assert_eq!(back, case),
             }
         }
+    }
+
+    #[test]
+    fn mutate_frames_round_trip_and_stay_out_of_the_query_decoder() {
+        let cases = [
+            EdgeMutation::Insert { u: 3, v: 9, w: 17 },
+            EdgeMutation::Delete { u: 1, v: 2 },
+            EdgeMutation::UpdateWeight { u: 0, v: u32::MAX, w: 1 },
+        ];
+        for mutation in cases {
+            let request = MutateRequest { correlation: 11, mutation };
+            let body = encode_mutate(&request);
+            assert_eq!(decode_client_frame(&body).unwrap(), ClientFrame::Mutate(request));
+            // The strict query decoder refuses it with a typed error.
+            assert!(matches!(
+                decode_request(&body),
+                Err(ProtocolError::UnexpectedFrameKind { got: 5, .. })
+            ));
+            // And it is not a response either.
+            assert!(matches!(
+                decode_response(&body),
+                Err(ProtocolError::UnexpectedFrameKind { got: 5, .. })
+            ));
+        }
+        // Query frames pass through decode_client_frame unchanged.
+        let query = Request::new(4, "sssp", 2).param("x", 1u64);
+        assert_eq!(
+            decode_client_frame(&encode_request(&query)).unwrap(),
+            ClientFrame::Query(query)
+        );
+    }
+
+    #[test]
+    fn version_payload_round_trips() {
+        let ack = Response::Result { correlation: 9, payload: WirePayload::Version(42) };
+        assert_eq!(decode_response(&encode_response(&ack)).unwrap(), ack);
+    }
+
+    #[test]
+    fn bad_mutation_ops_and_truncated_mutates_are_typed_errors() {
+        let mut body = encode_mutate(&MutateRequest {
+            correlation: 5,
+            mutation: EdgeMutation::Insert { u: 1, v: 2, w: 3 },
+        });
+        body[5] = 0x7F; // the op byte
+        assert!(matches!(decode_client_frame(&body), Err(ProtocolError::UnknownMutationOp(0x7F))));
+        let truncated = &body[..9];
+        assert!(matches!(decode_client_frame(truncated), Err(ProtocolError::Truncated { .. })));
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //! Every correlation admitted before step 2 is *answered* — resolved or
 //! rejected — before the socket closes.
 
-use std::io::{ErrorKind, Read};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -29,8 +29,8 @@ use std::time::Duration;
 use fg_service::{ForkGraphService, ServiceHandle};
 use parking_lot::Mutex;
 
-use crate::framing::MAX_FRAME_LEN;
-use crate::protocol::MAGIC;
+use crate::framing::{write_frame, MAX_FRAME_LEN};
+use crate::protocol::{encode_response, Response, CONNECTION_CORRELATION, MAGIC};
 
 /// Accept-loop poll interval while checking the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -51,6 +51,16 @@ pub struct ServerConfig {
     /// Backoff hint carried by retry-after frames when admission control
     /// sheds a query.
     pub retry_after_ms: u32,
+    /// Cap on concurrently served connections. A peer accepted beyond it is
+    /// answered with a single retry-after frame (correlation `0`) and
+    /// closed, instead of being handed an unbounded thread — an accept
+    /// flood degrades into flow control, not thread exhaustion.
+    pub max_connections: usize,
+    /// Cap on one connection's admitted-but-unanswered queries. Over-limit
+    /// requests get a retry-after frame carrying the observed in-flight
+    /// depth; the connection survives. Keeps a single pipelining client
+    /// from parking the whole service queue behind its socket.
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +69,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_frame_len: MAX_FRAME_LEN,
             retry_after_ms: 25,
+            max_connections: 256,
+            max_inflight_per_conn: 128,
         }
     }
 }
@@ -67,6 +79,7 @@ impl Default for ServerConfig {
 #[derive(Default)]
 pub(crate) struct ServerStats {
     pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
     pub(crate) frames_in: AtomicU64,
     pub(crate) frames_out: AtomicU64,
     pub(crate) protocol_errors: AtomicU64,
@@ -81,10 +94,18 @@ pub(crate) struct ServerCore {
     pub(crate) config: ServerConfig,
     pub(crate) stats: ServerStats,
     stop: AtomicBool,
+    /// Concurrently served connections, for the accept-time cap. Incremented
+    /// before a connection thread spawns, decremented on its teardown.
+    live_conns: AtomicUsize,
+    /// Monotonic connection IDs, keying `conns` entries for teardown removal.
+    next_conn_id: AtomicU64,
     /// Read-half clones of every live connection, for the shutdown
-    /// half-close. Entries are best-effort; dead sockets are ignored.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Reader-thread handles (each reader joins its own writer).
+    /// half-close. A connection removes its own entry on teardown; remaining
+    /// entries are best-effort and dead sockets are ignored.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Reader-thread handles (each reader joins its own writer). Finished
+    /// handles are pruned whenever a new connection spawns, so a long-lived
+    /// server's list tracks live connections, not its accept history.
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -119,6 +140,8 @@ impl ForkGraphServer {
             config,
             stats: ServerStats::default(),
             stop: AtomicBool::new(false),
+            live_conns: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             conn_threads: Mutex::new(Vec::new()),
         });
@@ -173,7 +196,7 @@ impl ForkGraphServer {
 
         // 3. Half-close every connection: readers see EOF and wind down;
         //    writers drain their in-flight tickets first.
-        for conn in core.conns.lock().iter() {
+        for (_, conn) in core.conns.lock().iter() {
             let _ = conn.shutdown(Shutdown::Read);
         }
 
@@ -201,6 +224,14 @@ fn accept_loop(core: Arc<ServerCore>, listener: TcpListener) {
     while !core.stopping() {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                let live = core.live_conns.load(Ordering::Acquire);
+                if live >= core.config.max_connections {
+                    // Over-cap: one retry-after frame, no thread. The flood
+                    // costs the server a short write, not a stack.
+                    core.stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_connection(&core, stream, live);
+                    continue;
+                }
                 core.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 spawn_connection(&core, stream);
             }
@@ -212,17 +243,51 @@ fn accept_loop(core: Arc<ServerCore>, listener: TcpListener) {
     }
 }
 
+/// Answer an over-cap peer with a connection-level retry-after and hang up.
+/// Bounded: a peer that won't take the frame is abandoned, never waited on.
+fn reject_connection(core: &ServerCore, stream: TcpStream, live: usize) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let frame = encode_response(&Response::RetryAfter {
+        correlation: CONNECTION_CORRELATION,
+        retry_after_ms: core.config.retry_after_ms,
+        queue_depth: crate::conn::clamp_u32(live),
+        capacity: crate::conn::clamp_u32(core.config.max_connections),
+    });
+    let mut writer = &stream;
+    let _ = write_frame(&mut writer, &frame);
+    let _ = writer.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Undoes a connection's accept-time bookkeeping when its thread ends, on
+/// every exit path (sniff timeout, clean close, panic).
+struct ConnGuard {
+    core: Arc<ServerCore>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.core.conns.lock().retain(|(id, _)| *id != self.id);
+        self.core.live_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
     // Back to blocking I/O for the connection itself (the listener's
     // non-blocking flag is inherited on some platforms).
     if stream.set_nonblocking(false).is_err() {
         return;
     }
+    let conn_id = core.next_conn_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
-        core.conns.lock().push(clone);
+        core.conns.lock().push((conn_id, clone));
     }
+    core.live_conns.fetch_add(1, Ordering::AcqRel);
     let conn_core = Arc::clone(core);
     let spawned = std::thread::Builder::new().name("fg-server-conn".into()).spawn(move || {
+        let _guard = ConnGuard { core: Arc::clone(&conn_core), id: conn_id };
         let _ = stream.set_read_timeout(Some(SNIFF_TIMEOUT));
         let mut first = [0u8; 4];
         let mut filled = 0;
@@ -243,7 +308,18 @@ fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
             crate::http::run_http_connection(&conn_core, stream, &first);
         }
     });
-    if let Ok(handle) = spawned {
-        core.conn_threads.lock().push(handle);
+    match spawned {
+        Ok(handle) => {
+            let mut threads = core.conn_threads.lock();
+            // Prune handles whose connections already wound down (finished
+            // threads need no join; dropping detaches them post-mortem).
+            threads.retain(|thread| !thread.is_finished());
+            threads.push(handle);
+        }
+        Err(_) => {
+            // The thread never ran, so its guard never will: undo here.
+            core.conns.lock().retain(|(id, _)| *id != conn_id);
+            core.live_conns.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }

@@ -1,0 +1,242 @@
+//! Front-door admission bugfixes (ISSUE 8 satellites) plus mutate-over-wire
+//! acceptance, over real loopback sockets:
+//!
+//! 1. **Connection cap**: a connection flood beyond `max_connections` is
+//!    answered with accept-time retry-after frames (correlation `0`) instead
+//!    of unbounded threads, and slots free up when connections close.
+//! 2. **Per-connection in-flight bound**: one pipelining client's over-limit
+//!    requests are shed with retry-afters carrying the observed depth while
+//!    a second client on its own connection keeps getting served — and the
+//!    flooding connection survives to resubmit.
+//! 3. **Mutations over the wire**: a mutate frame is acknowledged with the
+//!    target graph version, re-queries see the new topology, and invalid
+//!    mutations get typed errors.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::GraphBuilder;
+use fg_server::{
+    EdgeMutation, ForkGraphServer, MutateRequest, Request, Response, ServerConfig, WireClient,
+    WireErrorCode, WirePayload, CONNECTION_CORRELATION,
+};
+use fg_service::{ForkGraphService, ServiceConfig};
+use forkgraph_core::EngineConfig;
+
+fn path_graph(weights: u32, n: usize) -> Arc<PartitionedGraph> {
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 - 1 {
+        b.add_edge(v, v + 1, weights);
+    }
+    Arc::new(PartitionedGraph::build_arc(
+        Arc::new(b.build()),
+        PartitionConfig::with_partitions(PartitionMethod::Chunked, 4),
+    ))
+}
+
+fn start_server(service_config: ServiceConfig, server_config: ServerConfig) -> ForkGraphServer {
+    let service =
+        ForkGraphService::start(path_graph(10, 8), EngineConfig::default(), service_config);
+    ForkGraphServer::start(service, server_config).expect("bind loopback")
+}
+
+fn sssp_distances(client: &mut WireClient, source: u32) -> Vec<u64> {
+    let correlation = client.peek_correlation();
+    match client.call(&Request::new(correlation, "sssp", source), |_| {}).expect("round trip") {
+        Response::Result { payload: WirePayload::U64s(dist), .. } => dist,
+        other => panic!("expected distances, got {other:?}"),
+    }
+}
+
+#[test]
+fn connection_flood_is_shed_with_accept_time_retry_afters_and_slots_recover() {
+    let server = start_server(
+        ServiceConfig { batch_window: Duration::from_micros(200), ..ServiceConfig::default() },
+        ServerConfig { max_connections: 4, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    // Fill every slot, proving each connection live with a round trip.
+    let mut held: Vec<WireClient> = (0..4)
+        .map(|_| {
+            let mut client = WireClient::connect(addr).expect("connect");
+            assert_eq!(sssp_distances(&mut client, 0)[0], 0);
+            client
+        })
+        .collect();
+
+    // The flood: every further connection gets one connection-level
+    // retry-after frame and a hangup — not a thread.
+    for _ in 0..6 {
+        let mut client = WireClient::connect(addr).expect("tcp accepts, server rejects");
+        match client.recv().expect("the rejection frame") {
+            Response::RetryAfter { correlation, queue_depth, capacity, .. } => {
+                assert_eq!(correlation, CONNECTION_CORRELATION);
+                assert_eq!(capacity, 4);
+                assert!(queue_depth >= 4, "rejection must report the live count");
+            }
+            other => panic!("expected accept-time retry-after, got {other:?}"),
+        }
+        assert!(client.recv().is_err(), "rejected connection must be closed");
+    }
+
+    // Teardown decrements: closing two held connections frees two slots, and
+    // a fresh client is served end to end again.
+    held.truncate(2);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "freed slots never became acceptable");
+        let mut client = WireClient::connect(addr).expect("connect");
+        if let Ok(id) = client.send("sssp", 0) {
+            let _ = client.flush();
+            if let Ok(Response::Result { correlation, .. }) = client.recv() {
+                assert_eq!(correlation, id);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    drop(held);
+    server.shutdown();
+}
+
+// The recovery probe above needs to *query*, not just connect: receiving any
+// frame proves acceptance, but only a result proves the slot serves.
+#[test]
+fn freed_connection_slots_serve_queries_again() {
+    let server = start_server(
+        ServiceConfig::default(),
+        ServerConfig { max_connections: 1, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    let first = WireClient::connect(addr).expect("connect");
+    // Occupied: the next peer is rejected at accept time.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut rejected = WireClient::connect(addr).expect("connect");
+    assert!(matches!(
+        rejected.recv().expect("rejection frame"),
+        Response::RetryAfter { correlation: CONNECTION_CORRELATION, .. }
+    ));
+
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "slot never recovered after teardown");
+        let mut client = WireClient::connect(addr).expect("connect");
+        if let Ok(id) = client.send("sssp", 0) {
+            let _ = client.flush();
+            if let Ok(Response::Result { correlation, .. }) = client.recv() {
+                assert_eq!(correlation, id);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn one_pipelining_client_cannot_starve_another_connection() {
+    // A long batch window keeps admitted queries in flight while client A
+    // floods; caching off so every request really is engine work.
+    let server = start_server(
+        ServiceConfig {
+            batch_window: Duration::from_millis(150),
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+        ServerConfig { max_inflight_per_conn: 4, ..ServerConfig::default() },
+    );
+    let addr = server.local_addr();
+
+    let mut flooder = WireClient::connect(addr).expect("connect A");
+    for source in 0..12u32 {
+        flooder.send("sssp", source % 8).expect("pipeline");
+    }
+    flooder.flush().expect("flush");
+
+    // Client B, on its own connection, is served despite A's flood.
+    let mut other = WireClient::connect(addr).expect("connect B");
+    assert_eq!(sssp_distances(&mut other, 0)[7], 70);
+
+    // A's 12 answers: exactly 4 admitted results, 8 shed with the observed
+    // in-flight depth — and the connection survived all of it.
+    let mut results = 0;
+    let mut retries = 0;
+    for _ in 0..12 {
+        match flooder.recv().expect("response") {
+            Response::Result { .. } => results += 1,
+            Response::RetryAfter { capacity, queue_depth, .. } => {
+                assert_eq!(capacity, 4);
+                assert_eq!(queue_depth, 4, "shed frames carry the observed depth");
+                retries += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!((results, retries), (4, 8));
+
+    // Survival: the shed client resubmits successfully once drained.
+    assert_eq!(sssp_distances(&mut flooder, 0)[1], 10);
+    server.shutdown();
+}
+
+#[test]
+fn mutations_travel_the_wire_and_requeries_see_the_new_graph() {
+    let server = start_server(ServiceConfig::default(), ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = WireClient::connect(addr).expect("connect");
+
+    assert_eq!(sssp_distances(&mut client, 0)[3], 30);
+
+    // Insert a shortcut; the ack names the version that will carry it.
+    match client.mutate(EdgeMutation::Insert { u: 0, v: 3, w: 5 }, |_| {}).expect("mutate") {
+        Response::Result { payload: WirePayload::Version(version), .. } => {
+            assert_eq!(version, 1)
+        }
+        other => panic!("expected version ack, got {other:?}"),
+    }
+    assert_eq!(sssp_distances(&mut client, 0)[3], 5, "re-query served the pre-mutation graph");
+
+    // Deletion over the wire takes the full-re-run fallback server-side.
+    match client.mutate(EdgeMutation::Delete { u: 0, v: 3 }, |_| {}).expect("mutate") {
+        Response::Result { payload: WirePayload::Version(version), .. } => {
+            assert_eq!(version, 2)
+        }
+        other => panic!("expected version ack, got {other:?}"),
+    }
+    assert_eq!(sssp_distances(&mut client, 0)[3], 30);
+
+    // Invalid mutations get typed errors; the connection survives.
+    match client.mutate(EdgeMutation::Insert { u: 2, v: 2, w: 1 }, |_| {}).expect("mutate") {
+        Response::Error { code, .. } => assert_eq!(code, WireErrorCode::InvalidMutation),
+        other => panic!("expected invalid-mutation error, got {other:?}"),
+    }
+    match client.mutate(EdgeMutation::Insert { u: 0, v: 999, w: 1 }, |_| {}).expect("mutate") {
+        Response::Error { code, .. } => assert_eq!(code, WireErrorCode::InvalidMutation),
+        other => panic!("expected invalid-mutation error, got {other:?}"),
+    }
+
+    // Correlation 0 stays reserved for mutate frames too.
+    client
+        .send_mutate_request(&MutateRequest {
+            correlation: CONNECTION_CORRELATION,
+            mutation: EdgeMutation::Insert { u: 0, v: 1, w: 1 },
+        })
+        .expect("send");
+    client.flush().expect("flush");
+    match client.recv().expect("response") {
+        Response::Error { correlation, code, .. } => {
+            assert_eq!((correlation, code), (CONNECTION_CORRELATION, WireErrorCode::Protocol));
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.mutations_applied, 2);
+    server.shutdown();
+}

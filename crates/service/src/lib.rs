@@ -79,6 +79,7 @@ pub mod service;
 pub mod ticket;
 
 pub use adaptive::{effective_workers, effective_workers_mixed, effective_workers_weighted};
+pub use fg_graph::mutation::{EdgeMutation, MutationError};
 pub use params::{ParamError, ParamValue, QueryParams};
 pub use query::{BatchKey, CacheKey, KernelMismatch, Query, QueryResult, QuerySpec};
 pub use registry::{

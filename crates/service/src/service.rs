@@ -21,7 +21,7 @@
 //! — and fronted by an LRU result cache so repeated hot queries never reach
 //! the engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -29,13 +29,14 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use fg_graph::mutation::{EdgeMutation, VersionedGraph};
 use fg_graph::partitioned::PartitionedGraph;
-use fg_graph::VertexId;
+use fg_graph::{Dist, Edge, VertexId, Weight};
 use fg_metrics::{BatchRecord, PoolSnapshot, ServiceCounters, ServiceSnapshot};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
 use fg_trace::{EventKind, TraceSink};
-use forkgraph_core::{EngineConfig, ExecutorMode, ForkGraphEngine, WorkerPool};
+use forkgraph_core::{EngineConfig, ErasedState, ExecutorMode, ForkGraphEngine, WorkerPool};
 
 use crate::adaptive;
 use crate::lru::LruCache;
@@ -125,6 +126,12 @@ pub enum ServiceError {
     /// The engine panicked while running this query's batch. The batcher
     /// survives and keeps serving subsequent batches.
     EngineFailure,
+    /// An edge mutation was rejected before it reached the log (endpoint out
+    /// of range, self-loop).
+    InvalidMutation {
+        /// The store's reason for refusing it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -148,6 +155,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::ResultMismatch(mismatch) => mismatch.fmt(f),
             ServiceError::EngineFailure => write!(f, "engine failed while executing the batch"),
+            ServiceError::InvalidMutation { reason } => {
+                write!(f, "invalid mutation: {reason}")
+            }
         }
     }
 }
@@ -205,7 +215,12 @@ struct Shared {
     cache: Mutex<LruCache<CacheKey, Arc<QueryResult>>>,
     registry: Arc<KernelRegistry>,
     config: ServiceConfig,
-    /// Vertex count of the served graph, for submit-time source validation.
+    /// The versioned graph store: mutations are logged here and folded into
+    /// a fresh [`PartitionedGraph`] snapshot at the batcher's quiesce points,
+    /// so no in-flight engine run ever observes a half-applied batch.
+    store: Arc<VersionedGraph>,
+    /// Vertex count of the served graph, for submit-time source validation
+    /// (mutations never add vertices, so this stays valid across versions).
     num_vertices: usize,
     /// Optional event sink; the whole submit/batch/resolve path is traced
     /// when present ([`ForkGraphService::start_traced`]).
@@ -258,10 +273,24 @@ impl ServiceHandle {
         let trace_id = shared.next_trace_id();
         shared.emit(EventKind::Submit, trace_id, resolved.id.as_u64() as u32, source);
 
-        // Fast path: answer repeated hot queries from the LRU cache.
+        // Fast path: answer repeated hot queries from the LRU cache. A
+        // pending mutation that can reach `source` (per-partition
+        // over-approximation) makes any cached entry suspect, so such hits
+        // are treated as misses and queued behind the quiesce point. The
+        // pending check runs *under the cache lock*, which the batcher also
+        // holds across quiesce-and-invalidate: a submission either observes
+        // the pending log (miss), or runs after the purge (miss) — a stale
+        // hit has no window.
         if shared.config.cache_capacity > 0 {
             let cache_key = CacheKey { key: batch_key.clone(), source };
-            let hit = shared.cache.lock().get(&cache_key).cloned();
+            let hit = {
+                let mut cache = shared.cache.lock();
+                if shared.store.pending_affects(source) {
+                    None
+                } else {
+                    cache.get(&cache_key).cloned()
+                }
+            };
             if let Some(result) = hit {
                 shared.counters.on_cache_hit();
                 shared.counters.record_latency(Duration::ZERO);
@@ -405,6 +434,77 @@ impl ServiceHandle {
     pub fn metrics(&self) -> ServiceSnapshot {
         self.shared.counters.snapshot()
     }
+
+    /// Log an edge insertion (or weight rewrite of an existing edge).
+    /// Returns the graph version that will first contain it; the batch is
+    /// folded in at the batcher's next quiesce point. Use
+    /// [`Self::flush_mutations`] to wait for that version.
+    pub fn insert_edge(&self, u: VertexId, v: VertexId, w: Weight) -> Result<u64, ServiceError> {
+        self.mutate(EdgeMutation::Insert { u, v, w })
+    }
+
+    /// Log an edge deletion (a no-op at apply time if the edge is absent).
+    pub fn delete_edge(&self, u: VertexId, v: VertexId) -> Result<u64, ServiceError> {
+        self.mutate(EdgeMutation::Delete { u, v })
+    }
+
+    /// Log a weight update for the edge `u → v` (inserts it if absent).
+    pub fn update_weight(&self, u: VertexId, v: VertexId, w: Weight) -> Result<u64, ServiceError> {
+        self.mutate(EdgeMutation::UpdateWeight { u, v, w })
+    }
+
+    /// Log one [`EdgeMutation`] against the served graph. Validated (typed
+    /// error) and enqueued synchronously; applied — together with every
+    /// other pending mutation, atomically — at the batcher's next quiesce
+    /// point, between engine runs. Cached results a mutation could reach are
+    /// invalidated at that same point.
+    pub fn mutate(&self, mutation: EdgeMutation) -> Result<u64, ServiceError> {
+        {
+            let inner = self.shared.inner.lock();
+            if inner.shutdown || inner.draining {
+                return Err(ServiceError::ShuttingDown);
+            }
+        }
+        let version = self
+            .shared
+            .store
+            .log(mutation)
+            .map_err(|error| ServiceError::InvalidMutation { reason: error.to_string() })?;
+        // Wake the batcher: a pending mutation is work even when no queries
+        // are queued (an idle service must still fold the batch in).
+        self.shared.work_ready.notify_all();
+        Ok(version)
+    }
+
+    /// The currently published graph version (0 until the first quiesce).
+    pub fn graph_version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// Number of logged-but-unapplied mutations.
+    pub fn pending_mutations(&self) -> usize {
+        self.shared.store.pending_mutations()
+    }
+
+    /// The current graph snapshot (the store's latest published version).
+    pub fn graph(&self) -> Arc<PartitionedGraph> {
+        self.shared.store.current()
+    }
+
+    /// Block until every mutation logged before this call has been folded
+    /// into a published snapshot; returns the version reached. Works during
+    /// drain (drain stops admission, not the batcher); call before
+    /// `shutdown` if logged mutations must land.
+    pub fn flush_mutations(&self) -> u64 {
+        loop {
+            let version = self.shared.store.version();
+            if !self.shared.store.has_pending() {
+                return version;
+            }
+            self.shared.work_ready.notify_all();
+            self.shared.store.wait_for_version(version + 1);
+        }
+    }
 }
 
 /// An always-on ForkGraph query server over one shared [`PartitionedGraph`].
@@ -482,6 +582,7 @@ impl ForkGraphService {
         registry: Arc<KernelRegistry>,
         trace: Option<Arc<TraceSink>>,
     ) -> Self {
+        let store = Arc::new(VersionedGraph::new(Arc::clone(&graph)));
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false, draining: false }),
             work_ready: Condvar::new(),
@@ -489,6 +590,7 @@ impl ForkGraphService {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             registry,
             config,
+            store,
             num_vertices: graph.graph().num_vertices(),
             trace,
         });
@@ -643,6 +745,11 @@ impl TraceHandle {
     }
 }
 
+/// Upper bound on retained incremental-restart hints; past it the batcher
+/// drops the delta-restart state entirely (correct, just slower) rather than
+/// letting an unbounded mutation/query churn grow it without limit.
+const INCREMENTAL_HINT_CAP: usize = 4096;
+
 /// The batcher thread body.
 fn batcher_loop(
     shared: Arc<Shared>,
@@ -650,24 +757,36 @@ fn batcher_loop(
     engine_config: EngineConfig,
     pool: Option<Arc<WorkerPool>>,
 ) {
+    let mut graph = graph;
     let num_partitions = graph.num_partitions();
     let max_workers = engine_config.resolved_threads();
+    // Delta-restart bookkeeping carried across quiesce points while every
+    // applied batch stays monotone (insertions / weight decreases only):
+    // `inc_seeds` accumulates the changed edges at their latest weights, and
+    // `inc_hints` holds the cached SSSP/BFS results those batches evicted —
+    // a re-query whose `CacheKey` matches resumes from its hint via
+    // `run_*_incremental(prev, delta)` instead of from scratch. A
+    // non-monotone batch (deletion / weight increase) clears both: its
+    // re-queries take the full-re-run fallback.
+    let mut inc_seeds: HashMap<(VertexId, VertexId), Weight> = HashMap::new();
+    let mut inc_hints: HashMap<CacheKey, Arc<QueryResult>> = HashMap::new();
     loop {
-        let cohorts = {
+        let mut cohorts = {
             let mut inner = shared.inner.lock();
 
-            // Wait for work (or shutdown with an empty backlog).
-            while inner.queue.is_empty() && !inner.shutdown {
+            // Wait for work — queued queries, pending mutations, or shutdown.
+            while inner.queue.is_empty() && !inner.shutdown && !shared.store.has_pending() {
                 shared.work_ready.wait(&mut inner);
             }
-            if inner.queue.is_empty() {
-                debug_assert!(inner.shutdown);
+            if inner.queue.is_empty() && inner.shutdown {
                 break;
             }
 
             // Micro-batch accumulation: give concurrent submitters the
-            // window to join this batch. Skipped when flushing at shutdown.
-            if !inner.shutdown && !shared.config.batch_window.is_zero() {
+            // window to join this batch. Skipped when flushing at shutdown
+            // and on mutation-only wakeups (an empty queue has no batch to
+            // fill; the quiesce below should not wait on it).
+            if !inner.queue.is_empty() && !inner.shutdown && !shared.config.batch_window.is_zero() {
                 let deadline = Instant::now() + shared.config.batch_window;
                 while !inner.shutdown && inner.queue.len() < shared.config.max_batch_size {
                     if shared.work_ready.wait_until(&mut inner, deadline).timed_out() {
@@ -716,9 +835,112 @@ fn batcher_loop(
                 rest.push_back(pending);
             }
             inner.queue = rest;
-            shared.counters.on_batch(total, inner.queue.len());
+            if total > 0 {
+                shared.counters.on_batch(total, inner.queue.len());
+            }
             cohorts
         };
+
+        // ---- Quiesce point ----
+        // No engine run is in flight here (the previous batch's engine is
+        // gone, the next is not yet built), so this is the safe place to
+        // fold the pending mutation log into a fresh snapshot. Runs under
+        // the cache lock so invalidation is atomic with publication — the
+        // submit fast path can never serve a cached result the new version
+        // invalidates (it either sees the pending log or the purge).
+        if shared.store.has_pending() {
+            let mut cache = shared.cache.lock();
+            if let Some(applied) = shared.store.quiesce() {
+                graph = Arc::clone(&applied.graph);
+                shared.counters.on_mutations_applied(applied.mutations);
+                if !applied.dirty_partitions.is_empty() {
+                    // Evict exactly the keys this batch could reach: sources
+                    // in partitions from which some dirty partition is
+                    // reachable (per-partition over-approximation).
+                    let affected = applied.reach.partitions_reaching(&applied.dirty_partitions);
+                    let snapshot = &applied.graph;
+                    let capture = applied.monotone;
+                    let mut evicted = 0usize;
+                    cache.retain(|key, result| {
+                        if !affected[snapshot.partition_of(key.source) as usize] {
+                            return true;
+                        }
+                        evicted += 1;
+                        // Evicted monotone-kernel results become restart
+                        // hints instead of pure losses.
+                        if capture
+                            && (key.key.kernel == KernelId::SSSP || key.key.kernel == KernelId::BFS)
+                        {
+                            inc_hints.insert(key.clone(), Arc::clone(result));
+                        }
+                        false
+                    });
+                    shared.counters.on_cache_invalidations(evicted);
+                }
+                if applied.monotone {
+                    for &(u, v, w) in &applied.seed_edges {
+                        inc_seeds.insert((u, v), w);
+                    }
+                } else {
+                    inc_seeds.clear();
+                    inc_hints.clear();
+                }
+                if inc_hints.len() > INCREMENTAL_HINT_CAP {
+                    inc_seeds.clear();
+                    inc_hints.clear();
+                }
+            }
+        }
+
+        // Mutation-only wakeup: nothing to dispatch.
+        if cohorts.is_empty() {
+            continue;
+        }
+
+        // ---- Incremental restarts ----
+        // Peel off the cohort members whose exact `CacheKey` has a restart
+        // hint and resume them from the delta frontier; the remainder (and
+        // every non-SSSP/BFS cohort) takes the normal from-scratch path.
+        if !inc_hints.is_empty() {
+            for (key, members) in &mut cohorts {
+                if key.kernel != KernelId::SSSP && key.kernel != KernelId::BFS {
+                    continue;
+                }
+                let mut hinted = Vec::new();
+                let mut rest = Vec::with_capacity(members.len());
+                for pending in members.drain(..) {
+                    let cache_key =
+                        CacheKey { key: pending.batch_key.clone(), source: pending.source };
+                    match inc_hints.remove(&cache_key) {
+                        Some(hint) => hinted.push((pending, hint)),
+                        None => rest.push(pending),
+                    }
+                }
+                *members = rest;
+                if !hinted.is_empty() {
+                    run_incremental_cohort(
+                        &shared,
+                        &graph,
+                        engine_config,
+                        &pool,
+                        num_partitions,
+                        max_workers,
+                        key.kernel,
+                        hinted,
+                        &inc_seeds,
+                    );
+                }
+            }
+            if inc_hints.is_empty() {
+                // Every hint was consumed; the accumulated delta has no
+                // remaining consumer.
+                inc_seeds.clear();
+            }
+            cohorts.retain(|(_, members)| !members.is_empty());
+            if cohorts.is_empty() {
+                continue;
+            }
+        }
 
         let batch_id = shared.next_trace_id();
         if shared.trace.is_some() {
@@ -862,4 +1084,110 @@ fn batcher_loop(
         pending.slot.fulfil(Err(ServiceError::ShuttingDown));
         shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
     }
+}
+
+/// Resume one cohort's hinted members from the delta frontier: typed
+/// [`ForkGraphEngine::run_sssp_incremental`] / `run_bfs_incremental` seeded
+/// by the accumulated monotone delta, previous states cloned from the
+/// members' evicted cache entries. Demultiplexes (and re-caches) results
+/// exactly like the from-scratch path; a panic fails only these tickets.
+#[allow(clippy::too_many_arguments)]
+fn run_incremental_cohort(
+    shared: &Shared,
+    graph: &Arc<PartitionedGraph>,
+    engine_config: EngineConfig,
+    pool: &Option<Arc<WorkerPool>>,
+    num_partitions: usize,
+    max_workers: usize,
+    kernel: KernelId,
+    hinted: Vec<(Pending, Arc<QueryResult>)>,
+    seeds: &HashMap<(VertexId, VertexId), Weight>,
+) {
+    let delta: Vec<Edge> = seeds.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+    let sources: Vec<VertexId> = hinted.iter().map(|(pending, _)| pending.source).collect();
+    let weight = hinted[0].0.resolved.kernel.batch_weight();
+    let workers =
+        adaptive::effective_workers_mixed(&[(sources.len(), weight)], num_partitions, max_workers);
+    let batch_config = engine_config.with_threads(workers);
+    let engine = match pool {
+        Some(pool) if workers > 1 => {
+            ForkGraphEngine::with_pool(graph, batch_config, Arc::clone(pool))
+        }
+        _ => ForkGraphEngine::new(graph, batch_config),
+    };
+    let engine = match &shared.trace {
+        Some(sink) => engine.with_trace_sink(Arc::clone(sink)),
+        None => engine,
+    };
+
+    // `(states, resumed)`: when a hint's stored state fails to downcast
+    // (defensive; a matching `CacheKey` implies the built-in state type) the
+    // whole cohort falls back to a from-scratch typed run — still correct.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if kernel == KernelId::SSSP {
+            let prev: Option<Vec<Vec<Dist>>> =
+                hinted.iter().map(|(_, hint)| hint.try_sssp().ok().cloned()).collect();
+            match prev {
+                Some(prev) => {
+                    let run = engine.run_sssp_incremental(&sources, prev, &delta);
+                    (erase_states(run.per_query), true)
+                }
+                None => (erase_states(engine.run_sssp(&sources).per_query), false),
+            }
+        } else {
+            let prev: Option<Vec<Vec<u32>>> =
+                hinted.iter().map(|(_, hint)| hint.try_bfs().ok().cloned()).collect();
+            match prev {
+                Some(prev) => {
+                    let run = engine.run_bfs_incremental(&sources, prev, &delta);
+                    (erase_states(run.per_query), true)
+                }
+                None => (erase_states(engine.run_bfs(&sources).per_query), false),
+            }
+        }
+    }));
+
+    match outcome {
+        Ok((states, resumed)) if states.len() == hinted.len() => {
+            if resumed {
+                shared.counters.on_incremental_run();
+            }
+            let resolved = &hinted[0].0.resolved;
+            let kernel_id = resolved.id;
+            let kernel_name = Arc::clone(&resolved.name);
+            let state_type = resolved.kernel.state_type_name();
+            let now = Instant::now();
+            // Same registration-liveness rule as the from-scratch demux.
+            let mut cache = (shared.config.cache_capacity > 0).then(|| shared.cache.lock());
+            if cache.is_some() && shared.registry.id_of(&kernel_name) != Some(kernel_id) {
+                cache = None;
+            }
+            for ((pending, _), state) in hinted.into_iter().zip(states) {
+                let result = Arc::new(QueryResult::new(
+                    kernel_id,
+                    Arc::clone(&kernel_name),
+                    state_type,
+                    state,
+                ));
+                if let Some(cache) = cache.as_mut() {
+                    let cache_key = CacheKey { key: pending.batch_key, source: pending.source };
+                    cache.insert(cache_key, Arc::clone(&result));
+                }
+                shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
+                pending.slot.fulfil(Ok(result));
+                shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
+            }
+        }
+        _ => {
+            for (pending, _) in hinted {
+                pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
+            }
+        }
+    }
+}
+
+/// Type-erase a typed run's per-query states for [`QueryResult::new`].
+fn erase_states<S: std::any::Any + Send + Sync>(states: Vec<S>) -> Vec<ErasedState> {
+    states.into_iter().map(|state| Arc::new(state) as ErasedState).collect()
 }

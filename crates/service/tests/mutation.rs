@@ -1,0 +1,204 @@
+//! Service-level dynamic-graph guarantees (ISSUE 8).
+//!
+//! The contract: a query submitted after `mutate()` returns is answered on a
+//! graph version that contains that mutation — never from a stale cache
+//! entry, never by an engine run over the old snapshot. The batcher enforces
+//! it by quiescing the mutation log (fold + invalidate, atomically under the
+//! cache lock) before every dispatch, and the submit fast path refuses cache
+//! hits for sources a pending mutation could reach.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_graph::{CsrGraph, Dist, GraphBuilder, VertexId, Weight};
+use fg_service::service::{ForkGraphService, ServiceConfig, ServiceError};
+use fg_service::EdgeMutation;
+use forkgraph_core::EngineConfig;
+
+fn service_over(edges: &[(u32, u32, u32)], n: usize, threads: usize) -> ForkGraphService {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    let pg = Arc::new(PartitionedGraph::build_arc(
+        Arc::new(b.build()),
+        PartitionConfig::with_partitions(PartitionMethod::Chunked, 4),
+    ));
+    let config = ServiceConfig {
+        batch_window: Duration::from_micros(200),
+        cache_capacity: 256,
+        ..ServiceConfig::default()
+    };
+    ForkGraphService::start(pg, EngineConfig::default().with_threads(threads), config)
+}
+
+fn dist_to(service: &ForkGraphService, source: VertexId, target: VertexId) -> Dist {
+    let result = service.handle().submit_sssp(source).unwrap().wait().unwrap();
+    result.try_sssp().unwrap()[target as usize]
+}
+
+/// The stale-read regression: query → cache fills → mutate an edge on the
+/// shortest path → re-query. The second answer must reflect the mutation;
+/// serving the cached pre-mutation result is the bug this PR fixes against.
+#[test]
+fn requery_after_mutation_never_serves_stale_cache() {
+    let service = service_over(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)], 4, 1);
+    let handle = service.handle();
+
+    assert_eq!(dist_to(&service, 0, 3), 30);
+    // The result is now cached; a repeat is a hit.
+    assert_eq!(dist_to(&service, 0, 3), 30);
+    assert!(service.metrics().cache_hits >= 1);
+
+    // Shortcut straight past the cached path.
+    handle.insert_edge(0, 3, 5).unwrap();
+    assert_eq!(dist_to(&service, 0, 3), 5, "served a stale cached distance");
+
+    // And the mutation-aware invalidation is observable.
+    let metrics = service.metrics();
+    assert_eq!(metrics.mutations_applied, 1);
+    assert!(metrics.cache_invalidations >= 1);
+    assert_eq!(handle.graph_version(), 1);
+    service.shutdown();
+}
+
+/// Monotone mutations resume evicted SSSP results from the delta frontier:
+/// the re-query is both correct and counted as an incremental run.
+#[test]
+fn monotone_requery_takes_the_incremental_path() {
+    let service = service_over(&[(0, 1, 10), (1, 2, 10), (2, 3, 10)], 4, 1);
+    let handle = service.handle();
+
+    assert_eq!(dist_to(&service, 0, 3), 30);
+    handle.insert_edge(1, 3, 2).unwrap();
+    handle.flush_mutations();
+    assert_eq!(dist_to(&service, 0, 3), 12);
+    let metrics = service.metrics();
+    assert_eq!(metrics.incremental_runs, 1, "monotone re-query should resume, not restart");
+
+    // A deletion (non-monotone) drops the restart state; the re-query falls
+    // back to a full run — and is still exact.
+    handle.delete_edge(1, 3).unwrap();
+    assert_eq!(dist_to(&service, 0, 3), 30);
+    let metrics = service.metrics();
+    assert_eq!(metrics.incremental_runs, 1, "deletion must take the full-re-run fallback");
+    assert_eq!(metrics.mutations_applied, 2);
+    service.shutdown();
+}
+
+#[test]
+fn bfs_requery_after_insertion_is_exact() {
+    let service = service_over(&[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)], 5, 1);
+    let handle = service.handle();
+    let levels = handle.submit_bfs(0).unwrap().wait().unwrap().try_bfs().unwrap().clone();
+    assert_eq!(levels[4], 4);
+    handle.insert_edge(0, 3, 1).unwrap();
+    handle.flush_mutations();
+    let levels = handle.submit_bfs(0).unwrap().wait().unwrap().try_bfs().unwrap().clone();
+    assert_eq!(levels[3], 1);
+    assert_eq!(levels[4], 2);
+    service.shutdown();
+}
+
+#[test]
+fn mutation_validation_and_lifecycle_errors_are_typed() {
+    let service = service_over(&[(0, 1, 1)], 4, 1);
+    let handle = service.handle();
+
+    assert!(matches!(handle.insert_edge(0, 99, 1), Err(ServiceError::InvalidMutation { .. })));
+    assert!(matches!(
+        handle.mutate(EdgeMutation::Insert { u: 2, v: 2, w: 1 }),
+        Err(ServiceError::InvalidMutation { .. })
+    ));
+    assert_eq!(handle.pending_mutations(), 0, "rejected mutations must not reach the log");
+
+    handle.begin_drain();
+    assert!(matches!(handle.insert_edge(0, 2, 1), Err(ServiceError::ShuttingDown)));
+    service.shutdown();
+}
+
+#[test]
+fn flush_waits_for_the_logged_batch_even_when_idle() {
+    let service = service_over(&[(0, 1, 3), (1, 2, 3)], 4, 1);
+    let handle = service.handle();
+    assert_eq!(handle.graph_version(), 0);
+    handle.insert_edge(0, 2, 1).unwrap();
+    handle.update_weight(0, 1, 2).unwrap();
+    let version = handle.flush_mutations();
+    assert_eq!(version, 1, "one quiesce folds the whole pending batch");
+    assert_eq!(handle.pending_mutations(), 0);
+    // The published snapshot serves the new topology.
+    assert_eq!(dist_to(&service, 0, 2), 1);
+    assert_eq!(handle.graph().graph().num_edges(), 3);
+    service.shutdown();
+}
+
+/// Seeded randomized interleaving of mutations and queries against a
+/// from-scratch oracle: every query submitted after a `mutate()` returned
+/// must be answered on a graph containing that mutation, so Dijkstra over a
+/// mirror of the mutation history is the exact expected answer.
+#[test]
+fn randomized_mutate_query_interleaving_matches_from_scratch_oracle() {
+    const N: usize = 48;
+    for (case, &threads) in [1usize, 4].iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED + case as u64);
+        let mut mirror: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        for _ in 0..3 * N {
+            let u = rng.gen_range(0..N as u32);
+            let v = rng.gen_range(0..N as u32);
+            if u == v {
+                continue;
+            }
+            mirror.insert((u, v), rng.gen_range(1u32..12));
+        }
+        let initial: Vec<_> = mirror.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+
+        let service = service_over(&initial, N, threads);
+        let handle = service.handle();
+
+        for step in 0..120 {
+            if rng.gen_bool(0.4) {
+                // Mutate, mirroring the store's replay semantics.
+                let u = rng.gen_range(0..N as u32);
+                let v = rng.gen_range(0..N as u32);
+                if u == v {
+                    continue;
+                }
+                match rng.gen_range(0u8..3) {
+                    0 => {
+                        let w: Weight = rng.gen_range(1..12);
+                        handle.insert_edge(u, v, w).unwrap();
+                        mirror.insert((u, v), w);
+                    }
+                    1 => {
+                        handle.delete_edge(u, v).unwrap();
+                        mirror.remove(&(u, v));
+                    }
+                    _ => {
+                        let w: Weight = rng.gen_range(1..12);
+                        handle.update_weight(u, v, w).unwrap();
+                        mirror.insert((u, v), w);
+                    }
+                }
+            } else {
+                // Query: answered on a version ≥ every mutation logged above.
+                let source = rng.gen_range(0..N as u32);
+                let got = handle.submit_sssp(source).unwrap().wait().unwrap();
+                let edges: Vec<_> = mirror.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+                let oracle = CsrGraph::from_sorted_edges(N, &edges, true);
+                assert_eq!(
+                    got.try_sssp().unwrap(),
+                    &fg_seq::dijkstra::dijkstra(&oracle, source).dist,
+                    "threads={threads} step={step} source={source}: wrong or stale answer"
+                );
+            }
+        }
+        service.shutdown();
+    }
+}
