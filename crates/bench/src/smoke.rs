@@ -16,7 +16,7 @@ use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
 use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
 use fg_metrics::Table;
-use fg_service::{ForkGraphService, ServiceConfig};
+use fg_service::{ForkGraphService, Query, ServiceConfig};
 use forkgraph_core::kernel::FppKernel;
 use forkgraph_core::kernels::SsspKernel;
 use forkgraph_core::operation::Priority;
@@ -384,6 +384,110 @@ pub fn run_smoke_at(scale: Scale) -> SmokeOutcome {
         "-".to_string(),
     ]);
 
+    // Mutate-while-read overlap: the epoch-snapshot payoff. Identical work
+    // under two schedules — *serialized* waits for every mutation batch to
+    // fold into a published version before querying (the pre-MVCC shape,
+    // where the fold quiesced readers), *overlapped* logs the batch and
+    // queries immediately, letting the batcher fold under the in-flight
+    // reads, which keep their pinned snapshots. Overlap must never lose
+    // (gate: mutate_while_read_vs_serialized >= 1.0).
+    let overlap_rounds = 3usize;
+    let overlap_muts = 8usize;
+    let run_schedule = |overlap: bool, salt: u32| -> f64 {
+        let service = ForkGraphService::start(
+            Arc::clone(&pg),
+            EngineConfig::default(),
+            ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
+        );
+        let handle = service.handle();
+        let start = std::time::Instant::now();
+        for round in 0..overlap_rounds {
+            for i in 0..overlap_muts as u32 {
+                let u = (salt + round as u32 * 71 + i * 37) % n_verts;
+                let v = (u + 1 + (i * 101) % (n_verts - 1)) % n_verts;
+                handle.insert_edge(u, v, 1 + i % 7).expect("in range, never a self-loop");
+            }
+            if !overlap {
+                handle.flush_mutations();
+            }
+            let tickets: Vec<_> = sources
+                .iter()
+                .map(|&s| handle.submit_query(Query::kernel("sssp").source(s)).expect("submit"))
+                .collect();
+            for ticket in tickets {
+                ticket.wait().expect("service answered");
+            }
+        }
+        handle.flush_mutations();
+        let secs = start.elapsed().as_secs_f64();
+        service.shutdown();
+        (overlap_rounds * sources.len()) as f64 / secs
+    };
+    // Interleaved best-of-N, like the other gated ratios, so clock drift
+    // cannot bias the comparison. Distinct salts keep each run's edge batch
+    // fresh (every service gets its own VersionedGraph over the shared pg).
+    let mut serialized_qps = 0f64;
+    let mut overlapped_qps = 0f64;
+    for repeat in 0..REPEATS as u32 {
+        serialized_qps = serialized_qps.max(run_schedule(false, repeat * 1009));
+        overlapped_qps = overlapped_qps.max(run_schedule(true, 50_000 + repeat * 1009));
+    }
+    report.push("mutate_while_read_qps", overlapped_qps);
+    report.push("mutate_while_read_vs_serialized", overlapped_qps / serialized_qps);
+    table.push_row([
+        "mutate+read serialized".to_string(),
+        format!("{serialized_qps:.1}"),
+        "-".to_string(),
+    ]);
+    table.push_row([
+        "mutate+read overlapped".to_string(),
+        format!("{overlapped_qps:.1}"),
+        "-".to_string(),
+    ]);
+    if overlapped_qps < serialized_qps {
+        eprintln!(
+            "[smoke] WARNING: overlapped mutate+read {overlapped_qps:.1} qps is below the \
+             serialized schedule's {serialized_qps:.1} qps — folding is blocking readers \
+             again (gate: mutate_while_read_vs_serialized >= 1.0)"
+        );
+    }
+
+    // Localized fold cost: a mutation burst confined to one partition must
+    // re-materialize only that partition; every other store is Arc-shared
+    // with the previous epoch. 1.0 here would mean each fold rebuilds the
+    // whole snapshot — the dirty-partition sharing is broken.
+    let frac_store = VersionedGraph::new(Arc::clone(&pg));
+    let snapshot = frac_store.current();
+    let p0_sources: Vec<u32> =
+        (0..n_verts).filter(|&v| snapshot.partition_of(v) == 0).take(8).collect();
+    assert!(!p0_sources.is_empty(), "partition 0 owns at least one vertex");
+    for (i, &u) in p0_sources.iter().enumerate() {
+        // Targets may land anywhere: dirtiness follows the *source* side.
+        let v = (u + 1 + i as u32 * 13) % n_verts;
+        if v != u {
+            frac_store.insert_edge(u, v, 1).expect("in range");
+        }
+    }
+    let localized = frac_store.quiesce().expect("a pending localized burst");
+    let slots = localized.partitions_rematerialized + localized.partitions_shared;
+    let dirty_frac = localized.partitions_rematerialized as f64 / slots as f64;
+    report.push("dirty_rematerialize_frac", dirty_frac);
+    table.push_row([
+        format!(
+            "localized fold ({} dirty / {} partitions)",
+            localized.partitions_rematerialized, slots
+        ),
+        format!("{dirty_frac:.4}"),
+        "-".to_string(),
+    ]);
+    if dirty_frac >= 1.0 {
+        eprintln!(
+            "[smoke] WARNING: a single-partition mutation burst re-materialized the whole \
+             snapshot (dirty_rematerialize_frac {dirty_frac:.2}) — epoch advances are no \
+             longer sharing clean partitions (gate: dirty_rematerialize_frac < 1.0)"
+        );
+    }
+
     // Machine-normalised scaling ratios: parallel-vs-serial on the *same*
     // host. Unlike raw qps these survive runner-hardware changes, so the
     // regression gate catches "the executor silently serialised" even when
@@ -558,6 +662,13 @@ mod tests {
         assert!(outcome.report.get("delta_sssp_qps").unwrap() > 0.0);
         assert!(outcome.report.get("delta_sssp_vs_full").unwrap() > 0.0);
         assert!(outcome.report.get("mutate_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("mutate_while_read_qps").unwrap() > 0.0);
+        assert!(outcome.report.get("mutate_while_read_vs_serialized").unwrap() > 0.0);
+        let dirty_frac = outcome.report.get("dirty_rematerialize_frac").unwrap();
+        assert!(
+            dirty_frac > 0.0 && dirty_frac < 1.0,
+            "a localized burst must rebuild some but not all partitions, got {dirty_frac}"
+        );
         let json = outcome.report.to_json();
         let back = PerfReport::from_json(&json).unwrap();
         assert_eq!(back, report_rounded(&outcome.report));

@@ -487,6 +487,24 @@ impl<'g> ForkGraphEngine<'g> {
         engine
     }
 
+    /// Create an engine over a pinned epoch snapshot. The borrow ties the
+    /// engine's lifetime to the guard's, so the type system proves the run
+    /// cannot outlive its pin — the MVCC contract ("a run reads exactly the
+    /// epoch it pinned") with no runtime check on the hot path.
+    pub fn for_snapshot(guard: &'g fg_graph::SnapshotGuard, config: EngineConfig) -> Self {
+        ForkGraphEngine::new(guard.graph(), config)
+    }
+
+    /// [`Self::for_snapshot`] with a shared worker pool, the combination the
+    /// serving layer's batcher uses for every dispatched run.
+    pub fn for_snapshot_with_pool(
+        guard: &'g fg_graph::SnapshotGuard,
+        config: EngineConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        ForkGraphEngine::with_pool(guard.graph(), config, pool)
+    }
+
     /// Attach a structured-event [`TraceSink`]: every run through this
     /// engine emits schedule-level events (run/visit spans, claims, steals,
     /// drains, yields) onto the sink's per-thread rings. The sink is also

@@ -76,6 +76,79 @@ impl CsrGraph {
         CsrGraph { offsets, targets, weights, in_offsets, in_targets, in_weights }
     }
 
+    /// Build a graph from per-segment edge lists without a global sort.
+    ///
+    /// Each segment is a `(source, target, weight)` list in which every
+    /// source vertex's edges appear **contiguously and target-sorted**, and
+    /// every vertex's edges live in **exactly one** segment (the contract a
+    /// partition-major edge layout satisfies: each partition owns its
+    /// vertices' out-edges). Under that contract the result is byte-identical
+    /// to [`Self::from_sorted_edges`] over the concatenated, globally sorted
+    /// edge list — but assembly is a counting pass plus cursor placement,
+    /// `O(n + m)`, with no comparison sort and no per-edge partition lookup.
+    /// This is what makes epoch advancement pay only for *dirty* partitions:
+    /// clean segments are spliced in as-is.
+    pub fn from_edge_segments(num_vertices: usize, segments: &[&[Edge]], weighted: bool) -> Self {
+        let n = num_vertices;
+        let m: usize = segments.iter().map(|s| s.len()).sum();
+
+        let mut offsets = vec![0u64; n + 1];
+        for segment in segments {
+            for &(u, _, _) in *segment {
+                offsets[u as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = if weighted { Some(vec![0 as Weight; m]) } else { None };
+        for segment in segments {
+            for &(u, v, w) in *segment {
+                let pos = cursor[u as usize] as usize;
+                targets[pos] = v;
+                if let Some(ws) = weights.as_mut() {
+                    ws[pos] = w;
+                }
+                cursor[u as usize] += 1;
+            }
+        }
+        debug_assert!((0..n).all(|v| {
+            let s = offsets[v] as usize;
+            let e = offsets[v + 1] as usize;
+            targets[s..e].windows(2).all(|w| w[0] < w[1])
+        }));
+
+        // Transpose from the assembled out-CSR in ascending source order, so
+        // in-adjacency ordering matches `from_sorted_edges` exactly.
+        let mut in_offsets = vec![0u64; n + 1];
+        for &v in &targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_cursor: Vec<u64> = in_offsets[..n].to_vec();
+        let mut in_targets = vec![0 as VertexId; m];
+        let mut in_weights = if weighted { Some(vec![0 as Weight; m]) } else { None };
+        for u in 0..n {
+            let s = offsets[u] as usize;
+            let e = offsets[u + 1] as usize;
+            for i in s..e {
+                let v = targets[i] as usize;
+                let pos = in_cursor[v] as usize;
+                in_targets[pos] = u as VertexId;
+                if let (Some(iw), Some(w)) = (in_weights.as_mut(), weights.as_ref()) {
+                    iw[pos] = w[i];
+                }
+                in_cursor[v] += 1;
+            }
+        }
+
+        CsrGraph { offsets, targets, weights, in_offsets, in_targets, in_weights }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -352,6 +425,30 @@ mod tests {
             assert_eq!(g.in_degree(v), 0);
             assert!(g.out_neighbors(v).is_empty());
         }
+    }
+
+    /// `from_edge_segments` must reproduce `from_sorted_edges` exactly
+    /// (CsrGraph derives PartialEq, so this checks every array including the
+    /// transpose) when fed a partition-major segmentation of the same edges.
+    #[test]
+    fn segment_assembly_matches_sorted_construction() {
+        let edges: Vec<crate::Edge> =
+            vec![(0, 2, 5), (0, 3, 1), (1, 0, 2), (2, 1, 7), (2, 3, 3), (4, 0, 9), (4, 2, 4)];
+        let sorted = CsrGraph::from_sorted_edges(6, &edges, true);
+        // Partition {0,1} / {2} / {3,4,5}: vertex-contiguous segments in an
+        // order that is NOT globally source-sorted when concatenated.
+        let seg_a: Vec<crate::Edge> = vec![(2, 1, 7), (2, 3, 3)];
+        let seg_b: Vec<crate::Edge> = vec![(4, 0, 9), (4, 2, 4)];
+        let seg_c: Vec<crate::Edge> = vec![(0, 2, 5), (0, 3, 1), (1, 0, 2)];
+        let assembled = CsrGraph::from_edge_segments(6, &[&seg_a, &seg_b, &seg_c], true);
+        assert_eq!(assembled, sorted);
+
+        let unweighted = CsrGraph::from_sorted_edges(6, &edges, false);
+        let assembled = CsrGraph::from_edge_segments(6, &[&seg_c, &seg_a, &seg_b], false);
+        assert_eq!(assembled, unweighted);
+
+        let empty = CsrGraph::from_edge_segments(3, &[], true);
+        assert_eq!(empty, CsrGraph::from_sorted_edges(3, &[], true));
     }
 
     #[test]

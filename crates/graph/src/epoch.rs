@@ -1,0 +1,326 @@
+//! Epoch-based snapshot concurrency for dynamic graphs.
+//!
+//! The [`EpochTable`] is the MVCC spine of the dynamic-graph path: every
+//! engine *run* pins the current epoch with an RAII [`SnapshotGuard`] (one pin
+//! per run, not per query — the service batcher already consolidates queries
+//! into cohorts, so the hot path never takes a per-query version check), while
+//! the writer concurrently folds pending mutations into per-partition deltas
+//! for the next epoch. [`EpochTable::advance`] publishes epoch `N+1` whose
+//! [`PartitionedGraph`] shares every *clean* partition's
+//! [`Arc<PartitionStore>`](crate::partitioned::PartitionStore) with epoch `N`;
+//! only dirty partitions were re-materialized. Epoch `N`'s remaining private
+//! storage (its dirty stores' old versions plus its monolithic CSR) is
+//! reclaimed when the last guard pinning `N` drops.
+//!
+//! Lifecycle of one epoch:
+//!
+//! ```text
+//!   advance(g, N) ──► live (pins come and go) ──► advance(g', N+1) retires N
+//!                                                      │
+//!                     pins == 0 at retire? ──── yes ──► reclaimed immediately
+//!                                │ no
+//!                                ▼
+//!                     last SnapshotGuard drop ───────► reclaimed (counted in
+//!                                                      snapshots_reclaimed)
+//! ```
+//!
+//! Only the newest epoch can be pinned; retired epochs merely linger until
+//! their readers finish. The table never blocks readers on writers or writers
+//! on readers — `pin` and `advance` each take one short mutex section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fg_trace::{EventKind, TraceSink};
+
+use crate::partitioned::PartitionedGraph;
+
+/// One epoch's bookkeeping entry.
+#[derive(Debug)]
+struct EpochEntry {
+    epoch: u64,
+    graph: Arc<PartitionedGraph>,
+    pins: usize,
+    /// Set when a newer epoch was published; a retired entry is removed (and
+    /// its storage's last table reference dropped) when `pins` reaches zero.
+    retired: bool,
+}
+
+#[derive(Debug, Default)]
+struct EpochStats {
+    epochs_advanced: AtomicU64,
+    snapshots_reclaimed: AtomicU64,
+    partitions_rematerialized: AtomicU64,
+    partitions_shared: AtomicU64,
+    /// Current epoch minus the oldest epoch still pinned (0 when nothing
+    /// lags), refreshed at every pin/unpin/advance.
+    oldest_pinned_lag: AtomicU64,
+}
+
+#[derive(Debug)]
+struct EpochShared {
+    /// Live and retired-but-pinned epochs, ascending by epoch number. The
+    /// last entry is always the current (pinnable) epoch.
+    list: Mutex<Vec<EpochEntry>>,
+    stats: EpochStats,
+    trace: Mutex<Option<Arc<TraceSink>>>,
+}
+
+impl EpochShared {
+    fn emit(&self, kind: EventKind, a: u32, b: u32, c: u32) {
+        if let Some(sink) = self.trace.lock().expect("epoch trace lock").as_ref() {
+            sink.emit(kind, a, b, c);
+        }
+    }
+
+    /// Recompute the pinned-epoch lag; call with the list lock held.
+    fn refresh_lag(&self, list: &[EpochEntry]) {
+        let current = list.last().map(|e| e.epoch).unwrap_or(0);
+        let oldest_pinned = list.iter().find(|e| e.pins > 0).map(|e| e.epoch);
+        let lag = oldest_pinned.map_or(0, |o| current - o);
+        self.stats.oldest_pinned_lag.store(lag, Ordering::Relaxed);
+    }
+}
+
+/// Tracks the current epoch's snapshot plus any older epochs still pinned by
+/// in-flight runs. Cheap to clone (shared interior).
+#[derive(Clone, Debug)]
+pub struct EpochTable {
+    inner: Arc<EpochShared>,
+}
+
+impl EpochTable {
+    /// A table whose epoch 0 snapshot is `graph`.
+    pub fn new(graph: Arc<PartitionedGraph>) -> EpochTable {
+        EpochTable {
+            inner: Arc::new(EpochShared {
+                list: Mutex::new(vec![EpochEntry { epoch: 0, graph, pins: 0, retired: false }]),
+                stats: EpochStats::default(),
+                trace: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Route epoch events (`EpochPin`/`EpochUnpin`/`EpochAdvance`) to `sink`.
+    pub fn attach_trace(&self, sink: Arc<TraceSink>) {
+        *self.inner.trace.lock().expect("epoch trace lock") = Some(sink);
+    }
+
+    /// Pin the current epoch for one engine run. The returned guard keeps the
+    /// snapshot's storage alive; the epoch is eligible for reclamation only
+    /// after every guard on it has dropped.
+    pub fn pin(&self) -> SnapshotGuard {
+        let (epoch, graph, pins) = {
+            let mut list = self.inner.list.lock().expect("epoch list lock");
+            let entry = list.last_mut().expect("epoch table never empty");
+            entry.pins += 1;
+            let pinned = (entry.epoch, Arc::clone(&entry.graph), entry.pins);
+            self.inner.refresh_lag(&list);
+            pinned
+        };
+        self.inner.emit(EventKind::EpochPin, epoch as u32, pins as u32, 0);
+        SnapshotGuard { shared: Arc::clone(&self.inner), epoch, graph }
+    }
+
+    /// Publish `graph` as epoch `epoch`, retiring the previous one. Epoch
+    /// numbers must be strictly increasing; the caller
+    /// ([`crate::mutation::VersionedGraph`]) uses its version counter, so
+    /// epochs and graph versions coincide. `rematerialized`/`shared` are the
+    /// dirty/clean partition counts of the fold that produced `graph`.
+    pub fn advance(
+        &self,
+        graph: Arc<PartitionedGraph>,
+        epoch: u64,
+        rematerialized: usize,
+        shared: usize,
+    ) {
+        let stats = &self.inner.stats;
+        stats.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+        stats.partitions_rematerialized.fetch_add(rematerialized as u64, Ordering::Relaxed);
+        stats.partitions_shared.fetch_add(shared as u64, Ordering::Relaxed);
+        {
+            let mut list = self.inner.list.lock().expect("epoch list lock");
+            let prev = list.last_mut().expect("epoch table never empty");
+            assert!(prev.epoch < epoch, "epochs must advance monotonically");
+            prev.retired = true;
+            if prev.pins == 0 {
+                // Nobody read the outgoing epoch: its storage goes now (the
+                // clean partitions survive through the new epoch's Arcs).
+                list.pop();
+                stats.snapshots_reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+            list.push(EpochEntry { epoch, graph, pins: 0, retired: false });
+            self.inner.refresh_lag(&list);
+        }
+        self.inner.emit(
+            EventKind::EpochAdvance,
+            epoch as u32,
+            rematerialized as u32,
+            shared as u32,
+        );
+    }
+
+    /// Number of epochs currently held by the table (1 when no old snapshot
+    /// is pinned).
+    pub fn live_epochs(&self) -> usize {
+        self.inner.list.lock().expect("epoch list lock").len()
+    }
+
+    /// Total epochs published via [`EpochTable::advance`].
+    pub fn epochs_advanced(&self) -> u64 {
+        self.inner.stats.epochs_advanced.load(Ordering::Relaxed)
+    }
+
+    /// Retired snapshots whose storage has been released (at retire time or
+    /// at last-guard drop).
+    pub fn snapshots_reclaimed(&self) -> u64 {
+        self.inner.stats.snapshots_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Total partitions re-materialized across all advances.
+    pub fn partitions_rematerialized(&self) -> u64 {
+        self.inner.stats.partitions_rematerialized.load(Ordering::Relaxed)
+    }
+
+    /// Total partitions shared (Arc-reused) across all advances.
+    pub fn partitions_shared(&self) -> u64 {
+        self.inner.stats.partitions_shared.load(Ordering::Relaxed)
+    }
+
+    /// Current epoch minus the oldest epoch still pinned; 0 when every
+    /// in-flight run reads the newest snapshot.
+    pub fn oldest_pinned_epoch_lag(&self) -> u64 {
+        self.inner.stats.oldest_pinned_lag.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII pin on one epoch's snapshot. Holding the guard keeps that epoch's
+/// [`PartitionedGraph`] (and therefore every partition store it references)
+/// alive; dropping the last guard on a retired epoch releases the table's
+/// reference so the storage can be reclaimed.
+#[derive(Debug)]
+pub struct SnapshotGuard {
+    shared: Arc<EpochShared>,
+    epoch: u64,
+    graph: Arc<PartitionedGraph>,
+}
+
+impl SnapshotGuard {
+    /// The pinned epoch number (equal to the graph version it snapshots).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned snapshot. The reference cannot outlive the guard, so an
+    /// engine borrowing it is type-checked against the pin's lifetime.
+    pub fn graph(&self) -> &PartitionedGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the pinned snapshot (for callers that need to move
+    /// it into a worker along with the guard).
+    pub fn graph_arc(&self) -> Arc<PartitionedGraph> {
+        Arc::clone(&self.graph)
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        let (pins_left, reclaimed) = {
+            let mut list = self.shared.list.lock().expect("epoch list lock");
+            let idx = list
+                .iter()
+                .position(|e| e.epoch == self.epoch)
+                .expect("pinned epoch present until last guard drops");
+            list[idx].pins -= 1;
+            let pins_left = list[idx].pins;
+            let reclaimed = list[idx].retired && pins_left == 0;
+            if reclaimed {
+                list.remove(idx);
+                self.shared.stats.snapshots_reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+            self.shared.refresh_lag(&list);
+            (pins_left, reclaimed)
+        };
+        self.shared.emit(
+            EventKind::EpochUnpin,
+            self.epoch as u32,
+            pins_left as u32,
+            reclaimed as u32,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::{PartitionConfig, PartitionMethod};
+
+    fn snapshot(seed: u64) -> Arc<PartitionedGraph> {
+        Arc::new(PartitionedGraph::build(
+            &gen::rmat(7, 4, seed),
+            PartitionConfig::with_partitions(PartitionMethod::Chunked, 4),
+        ))
+    }
+
+    #[test]
+    fn pin_reads_the_current_epoch() {
+        let table = EpochTable::new(snapshot(1));
+        let g0 = table.pin();
+        assert_eq!(g0.epoch(), 0);
+        table.advance(snapshot(2), 1, 2, 2);
+        let g1 = table.pin();
+        assert_eq!(g1.epoch(), 1);
+        // The old pin still reads its own snapshot.
+        assert!(!Arc::ptr_eq(&g0.graph_arc(), &g1.graph_arc()));
+        assert_eq!(table.live_epochs(), 2);
+        assert_eq!(table.oldest_pinned_epoch_lag(), 1);
+    }
+
+    #[test]
+    fn retired_epoch_reclaimed_on_last_unpin() {
+        let table = EpochTable::new(snapshot(3));
+        let old = table.pin();
+        let weak = Arc::downgrade(&old.graph_arc());
+        table.advance(snapshot(4), 1, 4, 0);
+        assert_eq!(table.snapshots_reclaimed(), 0);
+        assert_eq!(table.live_epochs(), 2);
+        drop(old);
+        assert_eq!(table.snapshots_reclaimed(), 1);
+        assert_eq!(table.live_epochs(), 1);
+        assert!(weak.upgrade().is_none(), "epoch 0 storage freed at last unpin");
+        assert_eq!(table.oldest_pinned_epoch_lag(), 0);
+    }
+
+    #[test]
+    fn unpinned_epoch_reclaimed_at_advance() {
+        let table = EpochTable::new(snapshot(5));
+        table.advance(snapshot(6), 1, 1, 3);
+        assert_eq!(table.live_epochs(), 1);
+        assert_eq!(table.snapshots_reclaimed(), 1);
+        assert_eq!(table.epochs_advanced(), 1);
+        assert_eq!(table.partitions_rematerialized(), 1);
+        assert_eq!(table.partitions_shared(), 3);
+    }
+
+    #[test]
+    fn pin_counts_nest_and_release_in_any_order() {
+        let table = EpochTable::new(snapshot(7));
+        let a = table.pin();
+        let b = table.pin();
+        table.advance(snapshot(8), 1, 0, 4);
+        drop(a);
+        assert_eq!(table.live_epochs(), 2, "second pin keeps epoch 0 alive");
+        drop(b);
+        assert_eq!(table.live_epochs(), 1);
+        assert_eq!(table.snapshots_reclaimed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn advance_rejects_non_monotone_epochs() {
+        let table = EpochTable::new(snapshot(9));
+        table.advance(snapshot(10), 0, 0, 0);
+    }
+}

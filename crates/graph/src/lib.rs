@@ -23,8 +23,11 @@
 //! * [`partitioned`] — [`partitioned::PartitionedGraph`], the LLC-sized
 //!   partitioned representation consumed by the ForkGraph engine.
 //! * [`mutation`] — [`VersionedGraph`], the edge-mutation seam: pending
-//!   delta logs merged into fresh snapshots at quiesce points, with
+//!   delta logs folded into fresh snapshots (dirty partitions only), with
 //!   partition-granular reachability summaries for cache invalidation.
+//! * [`epoch`] — [`EpochTable`]/[`SnapshotGuard`], epoch-based snapshot
+//!   concurrency: runs pin the current epoch while writers fold the next;
+//!   old-epoch storage is reclaimed when its last pin drops.
 //! * [`datasets`] — a registry of scaled-down synthetic stand-ins for the eight
 //!   graphs of Table 2 in the paper.
 //! * [`stats`] — degree distributions and other summary statistics.
@@ -32,6 +35,7 @@
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod epoch;
 pub mod gen;
 pub mod io;
 pub mod mutation;
@@ -41,7 +45,8 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use mutation::{AppliedDeltas, EdgeMutation, MutationError, VersionedGraph};
+pub use epoch::{EpochTable, SnapshotGuard};
+pub use mutation::{AppliedDeltas, EdgeMutation, MutationError, PreparedFold, VersionedGraph};
 
 /// Vertex identifier. Graphs in this workspace are bounded by `u32::MAX`
 /// vertices, which comfortably covers the scaled datasets and matches the

@@ -5,14 +5,28 @@
 //! *change* without any in-flight run observing a half-applied batch.
 //!
 //! [`VersionedGraph`] pairs the current snapshot with a pending delta log of
-//! [`EdgeMutation`]s. Writers append to the log at any time; readers keep
-//! whatever snapshot they resolved. At a **quiesce point** — a moment the
-//! owner guarantees no run holds partition state, e.g. between service
-//! batches — [`VersionedGraph::quiesce`] merges the log into a fresh CSR,
-//! re-partitions it under the *same* [`PartitionPlan`] (vertex count is
-//! immutable, so the old assignment stays valid), and atomically swaps the
-//! snapshot. The returned [`AppliedDeltas`] tells the caller everything it
-//! needs for cache invalidation and incremental restart:
+//! [`EdgeMutation`]s. Writers append to the log at any time; readers pin the
+//! current epoch via [`VersionedGraph::pin`] and keep that snapshot for the
+//! length of one run. Applying a batch is split into two halves so folds can
+//! overlap in-flight reads:
+//!
+//! * [`VersionedGraph::prepare`] copies a prefix of the log (without draining
+//!   it, so [`pending_affects`](VersionedGraph::pending_affects) keeps
+//!   forcing cache misses for affected sources while the fold is in flight)
+//!   and — entirely outside the locks — folds it into the next snapshot,
+//!   re-materializing **only dirty partitions**: every clean partition's
+//!   [`Arc<PartitionStore>`](crate::partitioned::PartitionStore) is shared
+//!   with the previous epoch, and the monolithic CSR is re-assembled from the
+//!   store segments without a global sort. The [`PartitionPlan`] is reused
+//!   (vertex count is immutable, so the old assignment stays valid).
+//! * [`VersionedGraph::publish`] atomically swaps the snapshot, drains the
+//!   consumed prefix, bumps the version, and advances the
+//!   [`EpochTable`] — all under one short lock section.
+//!
+//! [`VersionedGraph::advance`] runs both halves back-to-back;
+//! [`VersionedGraph::quiesce`] is the same thing under its historical name.
+//! The returned [`AppliedDeltas`] tells the caller everything it needs for
+//! cache invalidation and incremental restart:
 //!
 //! * whether the batch was **monotone** — every effective change is a new
 //!   edge or a weight decrease, so monotone-relaxation kernels (SSSP/BFS)
@@ -31,9 +45,10 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::epoch::{EpochTable, SnapshotGuard};
 use crate::partition::PartitionId;
-use crate::partitioned::PartitionedGraph;
-use crate::{CsrGraph, Edge, VertexId, Weight};
+use crate::partitioned::{PartitionStore, PartitionedGraph};
+use crate::{Edge, VertexId, Weight};
 
 /// A single logged edge mutation.
 ///
@@ -183,15 +198,12 @@ impl PartitionReachability {
 
 /// Quotient adjacency of `graph` under its own partition plan: bit `q` of
 /// row `p` is set iff some edge goes from partition `p` to partition `q`.
+/// Concatenates the per-partition rows cached on the stores — `O(k · words)`,
+/// not an `O(m)` edge scan.
 fn quotient_adjacency(pg: &PartitionedGraph) -> Vec<u64> {
-    let parts = pg.num_partitions();
-    let words = parts.div_ceil(64).max(1);
-    let mut adj = vec![0u64; parts * words];
-    for (u, v, _) in pg.graph().edges() {
-        let (pu, pv) = (pg.partition_of(u) as usize, pg.partition_of(v) as usize);
-        adj[pu * words + pv / 64] |= 1u64 << (pv % 64);
-    }
-    adj
+    (0..pg.num_partitions())
+        .flat_map(|p| pg.store(p as PartitionId).quotient_row.iter().copied())
+        .collect()
 }
 
 /// One applied mutation batch: the new snapshot plus everything the caller
@@ -216,6 +228,48 @@ pub struct AppliedDeltas {
     /// Reachability closure over the *union* of old and new quotient edges —
     /// safe for deciding which cached sources the batch might affect.
     pub reach: PartitionReachability,
+    /// Partitions whose stores were rebuilt for this batch (== the dirty
+    /// count).
+    pub partitions_rematerialized: usize,
+    /// Partitions whose stores are `Arc`-shared with the previous epoch.
+    pub partitions_shared: usize,
+}
+
+/// A mutation fold computed off the locks by [`VersionedGraph::prepare`],
+/// awaiting [`VersionedGraph::publish`]. Holding one does not block readers
+/// or writers; the consumed log prefix stays pending (and keeps poisoning
+/// the cache-freshness check) until publish.
+pub struct PreparedFold {
+    /// Version the fold was computed against; publish asserts it still holds.
+    base_version: u64,
+    /// Length of the log prefix this fold consumed.
+    consumed: usize,
+    monotone: bool,
+    seed_edges: Vec<Edge>,
+    dirty_partitions: Vec<PartitionId>,
+    graph: Arc<PartitionedGraph>,
+    new_adj: Vec<u64>,
+    reach: PartitionReachability,
+    partitions_rematerialized: usize,
+    partitions_shared: usize,
+}
+
+impl PreparedFold {
+    /// Mutations this fold will drain at publish.
+    pub fn mutations(&self) -> usize {
+        self.consumed
+    }
+
+    /// Dirty partitions re-materialized by this fold.
+    pub fn dirty_partitions(&self) -> &[PartitionId] {
+        &self.dirty_partitions
+    }
+
+    /// Version the fold was computed against (publish makes it
+    /// `base_version() + 1`).
+    pub fn base_version(&self) -> u64 {
+        self.base_version
+    }
 }
 
 struct VgInner {
@@ -270,8 +324,11 @@ impl VgInner {
 pub struct VersionedGraph {
     inner: Mutex<VgInner>,
     applied: Condvar,
-    /// Serializes the (deliberately lock-free-in-the-middle) quiesce merge.
+    /// Serializes the (deliberately lock-free-in-the-middle) fold in
+    /// [`advance`](Self::advance) / [`quiesce`](Self::quiesce).
     quiesce_gate: Mutex<()>,
+    /// Snapshot epochs; epoch numbers coincide with graph versions.
+    epochs: EpochTable,
 }
 
 impl VersionedGraph {
@@ -279,6 +336,7 @@ impl VersionedGraph {
     pub fn new(graph: Arc<PartitionedGraph>) -> Self {
         let adj = quotient_adjacency(&graph);
         let words = graph.num_partitions().div_ceil(64).max(1);
+        let epochs = EpochTable::new(Arc::clone(&graph));
         VersionedGraph {
             inner: Mutex::new(VgInner {
                 current: graph,
@@ -290,13 +348,26 @@ impl VersionedGraph {
             }),
             applied: Condvar::new(),
             quiesce_gate: Mutex::new(()),
+            epochs,
         }
     }
 
     /// The current snapshot. Runs resolved against it stay valid for their
-    /// lifetime; quiesce swaps the pointer, it never mutates the pointee.
+    /// lifetime; publish swaps the pointer, it never mutates the pointee.
     pub fn current(&self) -> Arc<PartitionedGraph> {
         Arc::clone(&self.inner.lock().unwrap().current)
+    }
+
+    /// Pin the current epoch's snapshot for one engine run. The guard's
+    /// epoch number equals the graph version it snapshots; old-epoch storage
+    /// is reclaimed when the last guard on it drops.
+    pub fn pin(&self) -> SnapshotGuard {
+        self.epochs.pin()
+    }
+
+    /// The epoch table (for trace attachment and epoch statistics).
+    pub fn epochs(&self) -> &EpochTable {
+        &self.epochs
     }
 
     /// Version of the current snapshot (0 at construction, +1 per applied
@@ -374,50 +445,61 @@ impl VersionedGraph {
         }
     }
 
-    /// Merge the pending log into a fresh snapshot. Returns `None` when the
-    /// log is empty. Must only be called at a quiesce point: no in-flight
-    /// run may straddle the swap (runs holding the *old* snapshot Arc are
-    /// fine — they just see the pre-batch graph).
+    /// Fold a prefix of the pending log into the next snapshot **without
+    /// draining the log or swapping anything**. Returns `None` when the log
+    /// is empty. The fold runs entirely outside the locks, so readers keep
+    /// pinning and querying the current epoch while it materializes — and
+    /// because the prefix stays pending,
+    /// [`pending_affects`](Self::pending_affects) keeps steering affected
+    /// sources away from the cache until [`publish`](Self::publish) lands
+    /// the new version.
     ///
-    /// Mutations logged concurrently with the merge stay pending for the
-    /// next quiesce; the merge itself holds the inner lock only to take the
-    /// log and to publish the result.
-    pub fn quiesce(&self) -> Option<AppliedDeltas> {
-        let _gate = self.quiesce_gate.lock().unwrap();
-        let (old, batch) = {
-            let mut inner = self.inner.lock().unwrap();
+    /// Only dirty partitions (those containing the source endpoint of an
+    /// effective change) are re-materialized; every clean partition's store
+    /// is `Arc`-shared with the current snapshot. A net-no-op prefix reuses
+    /// the whole snapshot `Arc`.
+    ///
+    /// Contract: a single fold driver. Two overlapping prepares would both
+    /// fold from the same base version, and the second publish panics on its
+    /// stale base. Use [`advance`](Self::advance) when serialization via the
+    /// internal gate is wanted.
+    pub fn prepare(&self) -> Option<PreparedFold> {
+        let (old, batch, base_version) = {
+            let inner = self.inner.lock().unwrap();
             if inner.pending.is_empty() {
                 return None;
             }
-            (Arc::clone(&inner.current), std::mem::take(&mut inner.pending))
+            (Arc::clone(&inner.current), inner.pending.clone(), inner.version)
         };
 
-        // Replay the log over the old edge set. BTreeMap keeps (src, dst)
-        // order so the CSR rebuild needs no sort.
+        // Replay the prefix to a net effect per touched endpoint pair.
         let csr = old.graph();
-        let mut edges: BTreeMap<(VertexId, VertexId), Weight> =
-            csr.edges().map(|(u, v, w)| ((u, v), w)).collect();
-        let mut monotone = true;
-        // Effective final state per touched endpoint pair, plus the weight
-        // the pair had before the batch (None = absent).
-        let mut touched: BTreeMap<(VertexId, VertexId), Option<Weight>> = BTreeMap::new();
+        let before_weight = |u: VertexId, v: VertexId| -> Option<Weight> {
+            csr.out_edges(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+        };
+        // (pair) -> (weight before the batch, final weight; None = absent).
+        let mut touched: BTreeMap<(VertexId, VertexId), (Option<Weight>, Option<Weight>)> =
+            BTreeMap::new();
         for m in &batch {
             let (u, v) = m.endpoints();
-            touched.entry((u, v)).or_insert_with(|| edges.get(&(u, v)).copied());
-            match *m {
-                EdgeMutation::Insert { u, v, w } | EdgeMutation::UpdateWeight { u, v, w } => {
-                    edges.insert((u, v), w);
-                }
-                EdgeMutation::Delete { u, v } => {
-                    edges.remove(&(u, v));
-                }
-            }
+            let entry = touched.entry((u, v)).or_insert_with(|| {
+                let b = before_weight(u, v);
+                (b, b)
+            });
+            entry.1 = match *m {
+                EdgeMutation::Insert { w, .. } | EdgeMutation::UpdateWeight { w, .. } => Some(w),
+                EdgeMutation::Delete { .. } => None,
+            };
         }
 
+        let mut monotone = true;
         let mut seed_edges = Vec::new();
         let mut dirty = vec![false; old.num_partitions()];
-        for (&(u, v), &before) in &touched {
-            let after = edges.get(&(u, v)).copied();
+        // Effective changes grouped by the partition owning the source
+        // endpoint (the partition whose edge segment they land in).
+        type PartitionChanges = Vec<((VertexId, VertexId), Option<Weight>)>;
+        let mut changes: BTreeMap<PartitionId, PartitionChanges> = BTreeMap::new();
+        for (&(u, v), &(before, after)) in &touched {
             match (before, after) {
                 (None, None) => continue,                                  // net no-op
                 (Some(b), Some(a)) if a == b => continue,                  // net no-op
@@ -425,43 +507,150 @@ impl VersionedGraph {
                 (Some(b), Some(a)) if a < b => seed_edges.push((u, v, a)), // decrease
                 _ => monotone = false, // deletion or weight increase
             }
-            dirty[old.partition_of(u) as usize] = true;
+            let p = old.partition_of(u);
+            dirty[p as usize] = true;
+            changes.entry(p).or_default().push(((u, v), after));
         }
         let dirty_partitions: Vec<PartitionId> =
             (0..old.num_partitions() as PartitionId).filter(|&p| dirty[p as usize]).collect();
 
-        let flat: Vec<Edge> = edges.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
-        let new_csr =
-            Arc::new(CsrGraph::from_sorted_edges(csr.num_vertices(), &flat, csr.is_weighted()));
-        let new_pg =
-            Arc::new(PartitionedGraph::from_plan(new_csr, old.plan().clone(), *old.config()));
-        let new_adj = quotient_adjacency(&new_pg);
+        let parts = old.num_partitions();
+        let graph = if dirty_partitions.is_empty() {
+            // Net no-op: the snapshot is bit-identical, share it outright
+            // (the version still bumps at publish so waiters unblock).
+            Arc::clone(&old)
+        } else {
+            let weighted = csr.is_weighted();
+            let stores: Vec<Arc<PartitionStore>> = (0..parts as PartitionId)
+                .map(|p| {
+                    let old_store = old.store(p);
+                    match changes.get(&p) {
+                        None => Arc::clone(old_store),
+                        Some(edits) => {
+                            let mut seg: BTreeMap<(VertexId, VertexId), Weight> =
+                                old_store.edges.iter().map(|&(u, v, w)| ((u, v), w)).collect();
+                            for &(pair, after) in edits {
+                                match after {
+                                    Some(w) => {
+                                        seg.insert(pair, w);
+                                    }
+                                    None => {
+                                        seg.remove(&pair);
+                                    }
+                                }
+                            }
+                            let edges: Vec<Edge> =
+                                seg.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+                            Arc::new(PartitionStore::build(
+                                p,
+                                old_store.info.vertices.clone(),
+                                edges,
+                                weighted,
+                                old.plan(),
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            Arc::new(PartitionedGraph::from_stores(
+                csr.num_vertices(),
+                weighted,
+                old.plan().clone(),
+                *old.config(),
+                stores,
+            ))
+        };
+        let new_adj = quotient_adjacency(&graph);
 
         // Union closure: old ∪ new quotient arcs cover both "could reach the
         // deleted edge" and "can reach the inserted edge".
         let old_adj = quotient_adjacency(&old);
         let union: Vec<u64> = old_adj.iter().zip(&new_adj).map(|(a, b)| a | b).collect();
-        let reach = PartitionReachability::close(old.num_partitions(), &union);
+        let reach = PartitionReachability::close(parts, &union);
 
+        let rematerialized = dirty_partitions.len();
+        Some(PreparedFold {
+            base_version,
+            consumed: batch.len(),
+            monotone,
+            seed_edges,
+            dirty_partitions,
+            graph,
+            new_adj,
+            reach,
+            partitions_rematerialized: rematerialized,
+            partitions_shared: parts - rematerialized,
+        })
+    }
+
+    /// Swap in a [`prepare`](Self::prepare)d fold: drain the consumed log
+    /// prefix, publish the new snapshot and version, advance the epoch
+    /// table, and wake [`wait_for_version`](Self::wait_for_version) waiters.
+    /// One short lock section; never materializes anything.
+    ///
+    /// Panics if the snapshot version moved since the fold was prepared
+    /// (two concurrent fold drivers — see [`prepare`](Self::prepare)).
+    pub fn publish(&self, fold: PreparedFold) -> AppliedDeltas {
+        let PreparedFold {
+            base_version,
+            consumed,
+            monotone,
+            seed_edges,
+            dirty_partitions,
+            graph,
+            new_adj,
+            reach,
+            partitions_rematerialized,
+            partitions_shared,
+        } = fold;
         let version = {
             let mut inner = self.inner.lock().unwrap();
-            inner.current = Arc::clone(&new_pg);
+            assert_eq!(
+                inner.version, base_version,
+                "PreparedFold published against a stale base (concurrent fold drivers?)"
+            );
+            inner.pending.drain(..consumed);
+            inner.current = Arc::clone(&graph);
             inner.version += 1;
             inner.adj = new_adj;
             inner.refresh_pending_reach();
+            self.epochs.advance(
+                Arc::clone(&graph),
+                inner.version,
+                partitions_rematerialized,
+                partitions_shared,
+            );
             self.applied.notify_all();
             inner.version
         };
 
-        Some(AppliedDeltas {
-            graph: new_pg,
+        AppliedDeltas {
+            graph,
             version,
-            mutations: batch.len(),
+            mutations: consumed,
             monotone,
             seed_edges,
             dirty_partitions,
             reach,
-        })
+            partitions_rematerialized,
+            partitions_shared,
+        }
+    }
+
+    /// Prepare and publish in one call, serialized by the internal gate.
+    /// Returns `None` when the log is empty.
+    pub fn advance(&self) -> Option<AppliedDeltas> {
+        let _gate = self.quiesce_gate.lock().unwrap();
+        let fold = self.prepare()?;
+        Some(self.publish(fold))
+    }
+
+    /// Historical name for [`advance`](Self::advance), kept for callers that
+    /// still think in stop-the-world terms. No in-flight run ever observes a
+    /// half-applied batch either way: runs hold their pinned epoch's `Arc`
+    /// and simply see the pre-batch graph.
+    pub fn quiesce(&self) -> Option<AppliedDeltas> {
+        self.advance()
     }
 }
 
@@ -469,6 +658,7 @@ impl VersionedGraph {
 mod tests {
     use super::*;
     use crate::partition::{PartitionConfig, PartitionMethod, PartitionPlan};
+    use crate::CsrGraph;
 
     /// Fixed even chunking: vertex `v` lands in partition `v / (n / parts)`,
     /// so tests can reason about the quotient graph exactly.
@@ -607,6 +797,100 @@ mod tests {
         assert!(!applied.monotone);
         let affected = applied.reach.partitions_reaching(&applied.dirty_partitions);
         assert!(affected[0], "source partition of the deleted edge is affected");
+    }
+
+    /// The acceptance-criterion Arc-identity test: a localized mutation
+    /// re-materializes exactly its dirty partition's store; every clean
+    /// partition is shared (`Arc::ptr_eq`) with the previous epoch.
+    #[test]
+    fn localized_fold_shares_clean_partition_stores() {
+        // Chunked over 8 vertices / 4 partitions: {0,1} {2,3} {4,5} {6,7}.
+        let base = pg(&[(0, 1, 1), (2, 3, 1), (4, 5, 1), (6, 7, 1)], 8, 4);
+        let vg = VersionedGraph::new(Arc::clone(&base));
+        vg.insert_edge(2, 5, 4).unwrap(); // source in partition 1
+        let applied = vg.quiesce().unwrap();
+        assert_eq!(applied.dirty_partitions, vec![1]);
+        assert_eq!(applied.partitions_rematerialized, 1);
+        assert_eq!(applied.partitions_shared, 3);
+        let new = &applied.graph;
+        assert!(!Arc::ptr_eq(new.store(1), base.store(1)), "dirty store rebuilt");
+        for p in [0, 2, 3] {
+            assert!(Arc::ptr_eq(new.store(p), base.store(p)), "clean store {p} shared");
+        }
+        // And the partial rebuild is equivalent to a from-scratch build.
+        let mut edges: Vec<Edge> = base.graph().edges().collect();
+        edges.push((2, 5, 4));
+        let scratch = pg(&edges, 8, 4);
+        assert_eq!(new.graph(), scratch.graph());
+        assert_eq!(new.store(1).edges, scratch.store(1).edges);
+        assert_eq!(new.store(1).quotient_row, scratch.store(1).quotient_row);
+    }
+
+    /// Deletions rebuild the owning partition too, and a net-no-op batch
+    /// shares the entire snapshot.
+    #[test]
+    fn fold_reuse_extends_to_whole_snapshot_on_net_noop() {
+        let base = pg(&[(0, 1, 5), (4, 5, 1)], 8, 4);
+        let vg = VersionedGraph::new(Arc::clone(&base));
+        vg.delete_edge(0, 1).unwrap();
+        vg.insert_edge(0, 1, 5).unwrap();
+        let applied = vg.quiesce().unwrap();
+        assert_eq!(applied.version, 1, "net no-op still bumps the version");
+        assert_eq!(applied.partitions_rematerialized, 0);
+        assert_eq!(applied.partitions_shared, 4);
+        assert!(Arc::ptr_eq(&applied.graph, &base), "whole snapshot shared");
+
+        vg.delete_edge(4, 5).unwrap();
+        let applied = vg.quiesce().unwrap();
+        assert!(!applied.monotone);
+        assert_eq!(applied.dirty_partitions, vec![2]);
+        assert!(!Arc::ptr_eq(applied.graph.store(2), base.store(2)));
+        assert_eq!(applied.graph.graph().num_edges(), 1);
+    }
+
+    /// prepare() leaves the log pending (cache-freshness checks keep firing)
+    /// until publish() drains exactly the consumed prefix.
+    #[test]
+    fn prepare_keeps_log_pending_until_publish() {
+        let vg = VersionedGraph::new(pg(&[(0, 2, 1)], 8, 4));
+        vg.insert_edge(2, 4, 3).unwrap();
+        let fold = vg.prepare().expect("one pending mutation");
+        assert_eq!(fold.mutations(), 1);
+        assert_eq!(fold.base_version(), 0);
+        assert_eq!(fold.dirty_partitions(), &[1]);
+        // Mid-fold: still pending, still poisoning affected sources.
+        assert!(vg.has_pending());
+        assert!(vg.pending_affects(0), "source reaching the edit stays poisoned mid-fold");
+        assert_eq!(vg.version(), 0);
+        // A mutation logged mid-fold survives the publish drain.
+        vg.insert_edge(6, 7, 1).unwrap();
+        let applied = vg.publish(fold);
+        assert_eq!(applied.version, 1);
+        assert_eq!(applied.mutations, 1);
+        assert_eq!(vg.pending_mutations(), 1, "mid-fold log entry still pending");
+        assert!(vg.pending_affects(6));
+        let applied = vg.advance().unwrap();
+        assert_eq!(applied.version, 2);
+        assert!(!vg.has_pending());
+    }
+
+    #[test]
+    fn epochs_track_versions_and_reclaim_on_unpin() {
+        let vg = VersionedGraph::new(pg(&[(0, 1, 1)], 8, 2));
+        let guard = vg.pin();
+        assert_eq!(guard.epoch(), 0);
+        vg.insert_edge(1, 2, 1).unwrap();
+        vg.quiesce().unwrap();
+        assert_eq!(vg.epochs().epochs_advanced(), 1);
+        assert_eq!(vg.epochs().live_epochs(), 2, "epoch 0 pinned across the advance");
+        assert_eq!(vg.epochs().oldest_pinned_epoch_lag(), 1);
+        let fresh = vg.pin();
+        assert_eq!(fresh.epoch(), vg.version());
+        assert_eq!(guard.graph().graph().num_edges(), 1, "pinned snapshot is immutable");
+        assert_eq!(fresh.graph().graph().num_edges(), 2);
+        drop(guard);
+        assert_eq!(vg.epochs().live_epochs(), 1);
+        assert_eq!(vg.epochs().snapshots_reclaimed(), 1);
     }
 
     #[test]

@@ -4,16 +4,26 @@
 //! per-partition metadata the ForkGraph engine needs: the vertex membership of
 //! every partition, internal/cut edge counts, and byte footprints used to check
 //! that partitions actually fit the (simulated) last-level cache.
+//!
+//! Since the epoch-snapshot work, each partition's payload — metadata plus its
+//! vertices' out-edge segment — lives in an individually [`Arc`]-held
+//! [`PartitionStore`]. Two snapshots that differ in a few partitions *share*
+//! every untouched store: [`crate::mutation::VersionedGraph`] re-materialises
+//! only dirty partitions at an epoch advance and splices the clean stores (and
+//! a freshly assembled monolithic CSR, via [`CsrGraph::from_edge_segments`])
+//! into the next epoch. The engine's hot path still reads one monolithic CSR;
+//! the stores are the storage identity that makes partial rebuilds and
+//! per-partition reclamation possible.
 
 use std::sync::Arc;
 
 use crate::partition::{PartitionConfig, PartitionId, PartitionPlan};
-use crate::{CsrGraph, VertexId, Weight};
+use crate::{CsrGraph, Edge, VertexId, Weight};
 
 /// Per-partition metadata.
 #[derive(Clone, Debug)]
 pub struct PartitionInfo {
-    /// Partition id (index into [`PartitionedGraph::partitions`]).
+    /// Partition id (index into the store list).
     pub id: PartitionId,
     /// Global ids of the vertices in this partition, ascending.
     pub vertices: Vec<VertexId>,
@@ -38,12 +48,78 @@ impl PartitionInfo {
     }
 }
 
-/// A graph divided into LLC-sized partitions.
+/// One partition's independently shareable payload: metadata, the out-edge
+/// segment of its vertices (grouped by source, target-sorted — the
+/// [`CsrGraph::from_edge_segments`] contract), and its cached quotient-graph
+/// adjacency row. Snapshots hold these behind [`Arc`]s; a store untouched by a
+/// mutation batch is shared across epochs, and its memory is reclaimed only
+/// when the last snapshot referencing it is dropped.
+#[derive(Clone, Debug)]
+pub struct PartitionStore {
+    /// Partition metadata (vertex membership, edge counts, footprint).
+    pub info: PartitionInfo,
+    /// The partition's vertices' out-edges, source-grouped and target-sorted.
+    pub edges: Vec<Edge>,
+    /// This partition's row of the quotient adjacency bitset (bit `q` set iff
+    /// some edge of this partition targets partition `q`), in
+    /// `plan.num_partitions.div_ceil(64).max(1)` words. Cached here so
+    /// reachability refreshes after a partial rebuild cost `O(dirty edges)`,
+    /// not an `O(m)` rescan.
+    pub quotient_row: Vec<u64>,
+}
+
+impl PartitionStore {
+    /// Build one partition's store from its vertex list and edge segment,
+    /// computing the metadata and quotient row the plan implies.
+    pub fn build(
+        id: PartitionId,
+        vertices: Vec<VertexId>,
+        edges: Vec<Edge>,
+        weighted: bool,
+        plan: &PartitionPlan,
+    ) -> Self {
+        let words = plan.num_partitions.div_ceil(64).max(1);
+        let mut internal = 0usize;
+        let mut cut = 0usize;
+        let mut quotient_row = vec![0u64; words];
+        for &(_, t, _) in &edges {
+            let pt = plan.partition_of(t);
+            quotient_row[pt as usize / 64] |= 1u64 << (pt as usize % 64);
+            if pt == id {
+                internal += 1;
+            } else {
+                cut += 1;
+            }
+        }
+        let mut adjacency_bytes = edges.len() * std::mem::size_of::<VertexId>()
+            + vertices.len() * std::mem::size_of::<u64>();
+        if weighted {
+            adjacency_bytes += edges.len() * std::mem::size_of::<Weight>();
+        }
+        // Vertex state: one distance/residual slot per vertex (8 bytes) as a
+        // conservative per-query footprint estimate.
+        let footprint_bytes = adjacency_bytes + vertices.len() * 8;
+        PartitionStore {
+            info: PartitionInfo {
+                id,
+                vertices,
+                num_internal_edges: internal,
+                num_cut_edges: cut,
+                footprint_bytes,
+            },
+            edges,
+            quotient_row,
+        }
+    }
+}
+
+/// A graph divided into LLC-sized partitions, each behind its own
+/// [`Arc<PartitionStore>`].
 #[derive(Clone, Debug)]
 pub struct PartitionedGraph {
     graph: Arc<CsrGraph>,
     plan: PartitionPlan,
-    partitions: Vec<PartitionInfo>,
+    stores: Vec<Arc<PartitionStore>>,
     config: PartitionConfig,
 }
 
@@ -57,54 +133,58 @@ impl PartitionedGraph {
     /// Partition an already shared graph.
     pub fn build_arc(graph: Arc<CsrGraph>, config: PartitionConfig) -> PartitionedGraph {
         let plan = PartitionPlan::compute(&graph, &config);
-        let partitions = Self::collect_partitions(&graph, &plan);
-        PartitionedGraph { graph, plan, partitions, config }
+        let stores = Self::collect_stores(&graph, &plan);
+        PartitionedGraph { graph, plan, stores, config }
     }
 
     /// Build from a precomputed plan (used by the partition-method sweeps).
     pub fn from_plan(graph: Arc<CsrGraph>, plan: PartitionPlan, config: PartitionConfig) -> Self {
         assert!(plan.validate(&graph), "partition plan does not cover the graph");
-        let partitions = Self::collect_partitions(&graph, &plan);
-        PartitionedGraph { graph, plan, partitions, config }
+        let stores = Self::collect_stores(&graph, &plan);
+        PartitionedGraph { graph, plan, stores, config }
     }
 
-    fn collect_partitions(graph: &CsrGraph, plan: &PartitionPlan) -> Vec<PartitionInfo> {
+    /// Assemble a snapshot from per-partition stores, reusing the stores'
+    /// `Arc`s (clean partitions keep sharing memory with the previous epoch)
+    /// and building the monolithic CSR from their edge segments without a
+    /// global sort. `stores[p]` must be partition `p`'s store under `plan`.
+    pub fn from_stores(
+        num_vertices: usize,
+        weighted: bool,
+        plan: PartitionPlan,
+        config: PartitionConfig,
+        stores: Vec<Arc<PartitionStore>>,
+    ) -> Self {
+        debug_assert_eq!(stores.len(), plan.num_partitions);
+        debug_assert!(stores.iter().enumerate().all(|(p, s)| s.info.id as usize == p));
+        let segments: Vec<&[Edge]> = stores.iter().map(|s| s.edges.as_slice()).collect();
+        let graph = Arc::new(CsrGraph::from_edge_segments(num_vertices, &segments, weighted));
+        PartitionedGraph { graph, plan, stores, config }
+    }
+
+    fn collect_stores(graph: &CsrGraph, plan: &PartitionPlan) -> Vec<Arc<PartitionStore>> {
         let k = plan.num_partitions;
         let mut vertices: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         for v in 0..graph.num_vertices() as VertexId {
             vertices[plan.partition_of(v) as usize].push(v);
         }
-        let mut infos = Vec::with_capacity(k);
-        for (id, verts) in vertices.into_iter().enumerate() {
-            let mut internal = 0usize;
-            let mut cut = 0usize;
-            let mut adjacency_bytes = 0usize;
-            for &v in &verts {
-                adjacency_bytes += graph.out_degree(v) * std::mem::size_of::<VertexId>()
-                    + std::mem::size_of::<u64>();
-                if graph.is_weighted() {
-                    adjacency_bytes += graph.out_degree(v) * std::mem::size_of::<Weight>();
+        vertices
+            .into_iter()
+            .enumerate()
+            .map(|(id, verts)| {
+                let mut edges = Vec::new();
+                for &v in &verts {
+                    edges.extend(graph.out_edges(v).map(|(t, w)| (v, t, w)));
                 }
-                for &t in graph.out_neighbors(v) {
-                    if plan.partition_of(t) == id as PartitionId {
-                        internal += 1;
-                    } else {
-                        cut += 1;
-                    }
-                }
-            }
-            // Vertex state: one distance/residual slot per vertex (8 bytes) as a
-            // conservative per-query footprint estimate.
-            let footprint_bytes = adjacency_bytes + verts.len() * 8;
-            infos.push(PartitionInfo {
-                id: id as PartitionId,
-                vertices: verts,
-                num_internal_edges: internal,
-                num_cut_edges: cut,
-                footprint_bytes,
-            });
-        }
-        infos
+                Arc::new(PartitionStore::build(
+                    id as PartitionId,
+                    verts,
+                    edges,
+                    graph.is_weighted(),
+                    plan,
+                ))
+            })
+            .collect()
     }
 
     /// The underlying graph.
@@ -129,17 +209,24 @@ impl PartitionedGraph {
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.stores.len()
     }
 
-    /// Per-partition metadata.
-    pub fn partitions(&self) -> &[PartitionInfo] {
-        &self.partitions
+    /// Per-partition metadata, in partition order.
+    pub fn partitions(&self) -> impl Iterator<Item = &PartitionInfo> {
+        self.stores.iter().map(|s| &s.info)
     }
 
     /// Metadata of partition `p`.
     pub fn partition(&self, p: PartitionId) -> &PartitionInfo {
-        &self.partitions[p as usize]
+        &self.stores[p as usize].info
+    }
+
+    /// Partition `p`'s shareable store. The `Arc` identity is the partial
+    /// rebuild contract: after an epoch advance, `Arc::ptr_eq` holds between
+    /// epochs exactly for the partitions the batch left clean.
+    pub fn store(&self, p: PartitionId) -> &Arc<PartitionStore> {
+        &self.stores[p as usize]
     }
 
     /// Partition containing vertex `v`.
@@ -150,7 +237,7 @@ impl PartitionedGraph {
 
     /// Total number of cut edges (counted once per directed edge).
     pub fn total_cut_edges(&self) -> usize {
-        self.partitions.iter().map(|p| p.num_cut_edges).sum()
+        self.partitions().map(|p| p.num_cut_edges).sum()
     }
 
     /// Fraction of directed edges that cross partitions.
@@ -164,7 +251,7 @@ impl PartitionedGraph {
 
     /// Largest partition footprint in bytes.
     pub fn max_footprint_bytes(&self) -> usize {
-        self.partitions.iter().map(|p| p.footprint_bytes).max().unwrap_or(0)
+        self.partitions().map(|p| p.footprint_bytes).max().unwrap_or(0)
     }
 
     /// Partition → worker affinity hints for an inter-partition parallel
@@ -179,14 +266,14 @@ impl PartitionedGraph {
     /// parallelism compose with the paper's cache-sized partitioning.
     pub fn worker_affinity(&self, num_workers: usize) -> Vec<usize> {
         let num_workers = num_workers.max(1);
-        let mut order: Vec<usize> = (0..self.partitions.len()).collect();
-        order.sort_by_key(|&p| std::cmp::Reverse(self.partitions[p].footprint_bytes));
+        let mut order: Vec<usize> = (0..self.stores.len()).collect();
+        order.sort_by_key(|&p| std::cmp::Reverse(self.stores[p].info.footprint_bytes));
         let mut load = vec![0usize; num_workers];
-        let mut affinity = vec![0usize; self.partitions.len()];
+        let mut affinity = vec![0usize; self.stores.len()];
         for p in order {
             let w = (0..num_workers).min_by_key(|&w| (load[w], w)).expect("num_workers >= 1");
             affinity[p] = w;
-            load[w] += self.partitions[p].footprint_bytes.max(1);
+            load[w] += self.stores[p].info.footprint_bytes.max(1);
         }
         affinity
     }
@@ -223,7 +310,7 @@ mod tests {
             &g,
             PartitionConfig::with_partitions(PartitionMethod::Chunked, 5),
         );
-        let total: usize = pg.partitions().iter().map(|p| p.num_edges()).sum();
+        let total: usize = pg.partitions().map(|p| p.num_edges()).sum();
         assert_eq!(total, g.num_edges());
         assert_eq!(pg.total_cut_edges(), pg.plan().edge_cut(&g));
     }
@@ -262,6 +349,50 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    /// Rebuilding from the collected stores must reproduce the original CSR
+    /// exactly — segment assembly is a reshuffle, never a re-interpretation.
+    #[test]
+    fn from_stores_round_trips_the_csr() {
+        let g = gen::rmat(9, 6, 4).into_weighted(8);
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Multilevel, 5),
+        );
+        let stores: Vec<Arc<PartitionStore>> =
+            (0..pg.num_partitions()).map(|p| Arc::clone(pg.store(p as PartitionId))).collect();
+        let rebuilt = PartitionedGraph::from_stores(
+            g.num_vertices(),
+            g.is_weighted(),
+            pg.plan().clone(),
+            *pg.config(),
+            stores,
+        );
+        assert_eq!(rebuilt.graph(), pg.graph());
+        for p in 0..pg.num_partitions() as PartitionId {
+            assert!(Arc::ptr_eq(rebuilt.store(p), pg.store(p)));
+            assert_eq!(rebuilt.partition(p).num_edges(), pg.partition(p).num_edges());
+        }
+    }
+
+    /// The cached quotient rows must agree with a from-scratch edge scan.
+    #[test]
+    fn quotient_rows_match_edge_scan() {
+        let g = gen::rmat(8, 5, 11);
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig::with_partitions(PartitionMethod::Chunked, 7),
+        );
+        let words = pg.num_partitions().div_ceil(64).max(1);
+        let mut expected = vec![vec![0u64; words]; pg.num_partitions()];
+        for (u, v, _) in g.edges() {
+            let (pu, pv) = (pg.partition_of(u) as usize, pg.partition_of(v) as usize);
+            expected[pu][pv / 64] |= 1u64 << (pv % 64);
+        }
+        for (p, row) in expected.iter().enumerate() {
+            assert_eq!(&pg.store(p as PartitionId).quotient_row, row, "row {p}");
+        }
     }
 
     #[test]

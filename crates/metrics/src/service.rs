@@ -80,6 +80,18 @@ pub struct ServiceCounters {
     /// Engine runs that resumed from a delta frontier instead of running the
     /// kernel from scratch.
     pub incremental_runs: AtomicU64,
+    /// Snapshot epochs published (one per non-empty mutation fold).
+    pub epochs_advanced: AtomicU64,
+    /// Dirty partitions re-materialized across all epoch advances.
+    pub partitions_rematerialized: AtomicU64,
+    /// Clean partitions `Arc`-shared with the previous epoch across all
+    /// advances (the partial-rebuild win).
+    pub partitions_shared: AtomicU64,
+    /// Retired epoch snapshots whose storage has been reclaimed.
+    pub snapshots_reclaimed: AtomicU64,
+    /// Current epoch minus the oldest epoch still pinned by an in-flight run
+    /// (a gauge: 0 when every reader is on the newest snapshot).
+    pub oldest_pinned_epoch_lag: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
     latency_count: AtomicU64,
     /// Ring of recent per-batch sizing decisions (bounded).
@@ -178,6 +190,25 @@ impl ServiceCounters {
         self.incremental_runs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sync the epoch counters from the epoch table's own statistics (the
+    /// table is the source of truth; the service mirrors it so one snapshot
+    /// carries everything). All five values are cumulative totals except
+    /// `lag`, which is a point-in-time gauge.
+    pub fn sync_epoch_stats(
+        &self,
+        advanced: u64,
+        rematerialized: u64,
+        shared: u64,
+        reclaimed: u64,
+        lag: u64,
+    ) {
+        self.epochs_advanced.store(advanced, Ordering::Relaxed);
+        self.partitions_rematerialized.store(rematerialized, Ordering::Relaxed);
+        self.partitions_shared.store(shared, Ordering::Relaxed);
+        self.snapshots_reclaimed.store(reclaimed, Ordering::Relaxed);
+        self.oldest_pinned_epoch_lag.store(lag, Ordering::Relaxed);
+    }
+
     /// Record one query's end-to-end (submit → result available) latency.
     pub fn record_latency(&self, latency: Duration) {
         let n = self.latency_count.fetch_add(1, Ordering::Relaxed) as usize;
@@ -223,6 +254,11 @@ impl ServiceCounters {
             mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
             incremental_runs: self.incremental_runs.load(Ordering::Relaxed),
+            epochs_advanced: self.epochs_advanced.load(Ordering::Relaxed),
+            partitions_rematerialized: self.partitions_rematerialized.load(Ordering::Relaxed),
+            partitions_shared: self.partitions_shared.load(Ordering::Relaxed),
+            snapshots_reclaimed: self.snapshots_reclaimed.load(Ordering::Relaxed),
+            oldest_pinned_epoch_lag: self.oldest_pinned_epoch_lag.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             latency_p50: percentile(0.50),
@@ -254,6 +290,17 @@ pub struct ServiceSnapshot {
     pub cache_invalidations: u64,
     /// Engine runs resumed from a delta frontier instead of from scratch.
     pub incremental_runs: u64,
+    /// Snapshot epochs published (one per non-empty mutation fold).
+    pub epochs_advanced: u64,
+    /// Dirty partitions re-materialized across all epoch advances.
+    pub partitions_rematerialized: u64,
+    /// Clean partitions `Arc`-shared with the previous epoch across all
+    /// advances.
+    pub partitions_shared: u64,
+    /// Retired epoch snapshots whose storage has been reclaimed.
+    pub snapshots_reclaimed: u64,
+    /// Current epoch minus the oldest epoch still pinned (gauge).
+    pub oldest_pinned_epoch_lag: u64,
     pub queue_depth: u64,
     pub max_queue_depth: u64,
     /// Median submit→result latency over the retained reservoir.
@@ -295,6 +342,19 @@ impl ServiceSnapshot {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of partition slots re-materialized (vs `Arc`-shared) across
+    /// all epoch advances, in `[0, 1]`. `1.0` would mean every advance
+    /// rebuilt every partition — the old full-quiesce behaviour; localized
+    /// mutation workloads should sit well below it. Zero-denominator-safe.
+    pub fn dirty_rematerialize_frac(&self) -> f64 {
+        let total = self.partitions_rematerialized + self.partitions_shared;
+        if total == 0 {
+            0.0
+        } else {
+            self.partitions_rematerialized as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for ServiceSnapshot {
@@ -332,6 +392,17 @@ impl fmt::Display for ServiceSnapshot {
             f,
             "  dynamic: {} mutations applied, {} invalidations, {} incremental runs",
             self.mutations_applied, self.cache_invalidations, self.incremental_runs
+        )?;
+        writeln!(
+            f,
+            "  epochs : {} advanced ({} rematerialized / {} shared, {:.1}% dirty), \
+             {} reclaimed, pin lag {}",
+            self.epochs_advanced,
+            self.partitions_rematerialized,
+            self.partitions_shared,
+            100.0 * self.dirty_rematerialize_frac(),
+            self.snapshots_reclaimed,
+            self.oldest_pinned_epoch_lag
         )?;
         write!(
             f,
@@ -383,6 +454,25 @@ mod tests {
         assert_eq!(s.incremental_runs, 1);
         let text = format!("{s}");
         assert!(text.contains("5 mutations applied"), "{text}");
+    }
+
+    #[test]
+    fn epoch_stats_sync_and_rate() {
+        let c = ServiceCounters::new();
+        c.sync_epoch_stats(4, 6, 10, 3, 1);
+        let s = c.snapshot();
+        assert_eq!(s.epochs_advanced, 4);
+        assert_eq!(s.partitions_rematerialized, 6);
+        assert_eq!(s.partitions_shared, 10);
+        assert_eq!(s.snapshots_reclaimed, 3);
+        assert_eq!(s.oldest_pinned_epoch_lag, 1);
+        assert!((s.dirty_rematerialize_frac() - 6.0 / 16.0).abs() < 1e-12);
+        let text = format!("{s}");
+        assert!(text.contains("4 advanced"), "{text}");
+        assert!(text.contains("37.5% dirty"), "{text}");
+        // Sync is a mirror, not an accumulator: re-syncing overwrites.
+        c.sync_epoch_stats(5, 7, 13, 3, 0);
+        assert_eq!(c.snapshot().epochs_advanced, 5);
     }
 
     #[test]
@@ -462,7 +552,12 @@ mod tests {
     #[test]
     fn rate_accessors_return_zero_not_nan_on_zero_denominators() {
         let s = ServiceSnapshot::default();
-        for rate in [s.mean_batch_occupancy(), s.mixed_run_rate(), s.cache_hit_rate()] {
+        for rate in [
+            s.mean_batch_occupancy(),
+            s.mixed_run_rate(),
+            s.cache_hit_rate(),
+            s.dirty_rematerialize_frac(),
+        ] {
             assert!(!rate.is_nan());
             assert_eq!(rate, 0.0);
         }
@@ -479,8 +574,9 @@ mod tests {
     fn display_is_compact_and_nan_free_when_empty() {
         let text = format!("{}", ServiceSnapshot::default());
         assert!(!text.contains("NaN"), "{text}");
-        assert!(text.lines().count() <= 6, "{text}");
+        assert!(text.lines().count() <= 7, "{text}");
         assert!(text.contains("0 submitted"), "{text}");
+        assert!(text.contains("pin lag 0"), "{text}");
 
         let populated = ServiceSnapshot {
             submitted: 10,

@@ -24,7 +24,7 @@ use fg_service::{ServiceError, Ticket};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::FrameReadError;
-use crate::framing::{read_frame, write_frame};
+use crate::framing::{read_frame_hooked, write_frame};
 use crate::protocol::{
     decode_client_frame, encode_response, ClientFrame, Response, WireErrorCode, WirePayload,
     CONNECTION_CORRELATION,
@@ -115,10 +115,32 @@ pub(crate) fn run_binary_connection(core: Arc<ServerCore>, stream: TcpStream) {
 
 fn reader_loop(core: &ServerCore, outbox: &Outbox, inflight: &AtomicUsize, stream: &TcpStream) {
     let max_len = core.config.max_frame_len;
+    let idle_timeout = core.config.idle_timeout;
+    let read_deadline = core.config.read_deadline;
     let mut reader = BufReader::new(stream);
     loop {
-        let body = match read_frame(&mut reader, max_len) {
+        // Two-phase timeout per frame: wait at the boundary under the
+        // generous idle budget, then — the moment the first header byte
+        // lands — tighten to the read deadline so a peer that *started* a
+        // frame cannot drip it out one byte at a time while parking this
+        // thread (the slow-loris shape). `BufReader` may satisfy reads from
+        // its buffer without touching the socket; the timeouts only matter
+        // when the socket actually blocks, so that is harmless.
+        let _ = stream.set_read_timeout(idle_timeout);
+        let body = match read_frame_hooked(&mut reader, max_len, || {
+            let _ = stream.set_read_timeout(read_deadline);
+        }) {
             Ok(body) => body,
+            Err(FrameReadError::TimedOut { mid_frame }) => {
+                // Reap: a mid-frame stall can never resynchronise, and an
+                // idle peer has out-stayed its budget. In-flight tickets
+                // still drain through the writer before the socket closes.
+                core.stats.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+                if mid_frame {
+                    core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
             Err(FrameReadError::Oversized { len, max }) => {
                 // Body already discarded; the stream is still framed.
                 core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);

@@ -130,6 +130,15 @@ pub enum FrameReadError {
         /// The receiver's cap.
         max: usize,
     },
+    /// A configured read timeout elapsed. `mid_frame` distinguishes a peer
+    /// that went quiet **between** frames (idle — the stream is still in
+    /// sync) from one that stalled **inside** a frame it started (the
+    /// slow-loris shape — the stream can never resynchronise, because the
+    /// missing bytes define where the next boundary would be).
+    TimedOut {
+        /// Whether at least one byte of the current frame had arrived.
+        mid_frame: bool,
+    },
     /// Transport failure.
     Io(io::Error),
 }
@@ -143,6 +152,12 @@ impl fmt::Display for FrameReadError {
             }
             FrameReadError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap (body discarded)")
+            }
+            FrameReadError::TimedOut { mid_frame: true } => {
+                write!(f, "read timed out mid-frame (peer stalled inside a frame it started)")
+            }
+            FrameReadError::TimedOut { mid_frame: false } => {
+                write!(f, "read timed out at a frame boundary (idle peer)")
             }
             FrameReadError::Io(e) => write!(f, "frame read failed: {e}"),
         }
@@ -198,6 +213,9 @@ impl From<FrameReadError> for ClientError {
             FrameReadError::Closed | FrameReadError::Truncated { .. } => ClientError::Closed,
             FrameReadError::Oversized { len, max } => {
                 ClientError::Protocol(ProtocolError::Oversized { len, max })
+            }
+            FrameReadError::TimedOut { .. } => {
+                ClientError::Io(io::Error::from(io::ErrorKind::TimedOut))
             }
             FrameReadError::Io(e) => ClientError::Io(e),
         }

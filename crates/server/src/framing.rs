@@ -30,9 +30,29 @@ pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> std::io::Result<()> 
 /// * Declared length beyond `max_len` → the body is read **and discarded**
 ///   in 64 KiB chunks, then [`FrameReadError::Oversized`] — the stream stays
 ///   framed and the caller may answer with a typed error and keep reading.
+/// * A read timeout (the stream has `set_read_timeout` configured) →
+///   [`FrameReadError::TimedOut`], with `mid_frame` recording whether the
+///   frame had started.
 pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameReadError> {
+    read_frame_hooked(reader, max_len, || {})
+}
+
+/// [`read_frame`] with an `on_frame_start` hook, invoked exactly once after
+/// the first header byte of a frame arrives and before any further reads.
+///
+/// This is the seam the server's slow-loris guard threads through: the
+/// connection reader waits at a frame boundary under a *generous* idle
+/// timeout, then uses the hook to arm a *tight* read deadline for the rest
+/// of the frame — a peer may be quiet between requests for as long as the
+/// idle budget allows, but once it starts a frame it must finish it
+/// promptly or time out `mid_frame` and forfeit the connection.
+pub fn read_frame_hooked(
+    reader: &mut impl Read,
+    max_len: usize,
+    on_frame_start: impl FnOnce(),
+) -> Result<Vec<u8>, FrameReadError> {
     let mut header = [0u8; 4];
-    read_exact_or_eof(reader, &mut header)?;
+    read_exact_or_eof(reader, &mut header, on_frame_start)?;
     let len = u32::from_le_bytes(header) as usize;
     if len > max_len {
         discard(reader, len)?;
@@ -43,16 +63,37 @@ pub fn read_frame(reader: &mut impl Read, max_len: usize) -> Result<Vec<u8>, Fra
     Ok(body)
 }
 
+/// Whether an I/O error is a read-timeout expiry. Unix sockets report
+/// `WouldBlock` when an `SO_RCVTIMEO` deadline passes; Windows reports
+/// `TimedOut` — both mean the same thing here.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
 /// Like `read_exact`, but distinguishes "no bytes at all" (clean close) from
-/// "some bytes then EOF" (truncation).
-fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameReadError> {
+/// "some bytes then EOF" (truncation), and fires `on_first_byte` when the
+/// first byte lands.
+fn read_exact_or_eof(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    on_first_byte: impl FnOnce(),
+) -> Result<(), FrameReadError> {
+    let mut on_first_byte = Some(on_first_byte);
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 => return Err(FrameReadError::Closed),
             Ok(0) => return Err(FrameReadError::Truncated { missing: buf.len() - filled }),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                if let Some(hook) = on_first_byte.take() {
+                    hook();
+                }
+                filled += n;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(FrameReadError::TimedOut { mid_frame: filled > 0 })
+            }
             Err(e) => return Err(FrameReadError::Io(e)),
         }
     }
@@ -67,6 +108,7 @@ fn read_fully(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameReadErr
             Ok(0) => return Err(FrameReadError::Truncated { missing: buf.len() - filled }),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(FrameReadError::TimedOut { mid_frame: true }),
             Err(e) => return Err(FrameReadError::Io(e)),
         }
     }
@@ -83,6 +125,7 @@ fn discard(reader: &mut impl Read, len: usize) -> Result<(), FrameReadError> {
             Ok(0) => return Err(FrameReadError::Truncated { missing: left }),
             Ok(n) => left -= n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(FrameReadError::TimedOut { mid_frame: true }),
             Err(e) => return Err(FrameReadError::Io(e)),
         }
     }
@@ -137,6 +180,69 @@ mod tests {
         }
         // The oversized body was consumed: the next frame parses normally.
         assert_eq!(read_frame(&mut reader, 16).unwrap(), b"still here");
+    }
+
+    /// Yields its buffered bytes, then reports a read-timeout expiry forever
+    /// (the shape a stalled socket with `SO_RCVTIMEO` presents).
+    struct StallingReader {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = (self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_at_a_boundary_is_idle_but_inside_a_frame_is_mid_frame() {
+        // No bytes at all: an idle peer, not a slow-loris.
+        let mut idle = StallingReader { data: Vec::new(), pos: 0 };
+        assert!(matches!(
+            read_frame(&mut idle, MAX_FRAME_LEN),
+            Err(FrameReadError::TimedOut { mid_frame: false })
+        ));
+        // A partial header, then silence: the frame started, so the stall is
+        // mid-frame — unrecoverable without the remaining bytes.
+        let mut loris = StallingReader { data: vec![5, 0], pos: 0 };
+        assert!(matches!(
+            read_frame(&mut loris, MAX_FRAME_LEN),
+            Err(FrameReadError::TimedOut { mid_frame: true })
+        ));
+        // A complete header, partial body: likewise mid-frame.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut body_stall = StallingReader { data: wire, pos: 0 };
+        assert!(matches!(
+            read_frame(&mut body_stall, MAX_FRAME_LEN),
+            Err(FrameReadError::TimedOut { mid_frame: true })
+        ));
+    }
+
+    #[test]
+    fn frame_start_hook_fires_once_per_frame_after_the_first_byte() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"one").unwrap();
+        write_frame(&mut wire, b"two").unwrap();
+        let mut reader = wire.as_slice();
+        let mut fired = 0u32;
+        assert_eq!(read_frame_hooked(&mut reader, MAX_FRAME_LEN, || fired += 1).unwrap(), b"one");
+        assert_eq!(fired, 1);
+        assert_eq!(read_frame_hooked(&mut reader, MAX_FRAME_LEN, || fired += 1).unwrap(), b"two");
+        assert_eq!(fired, 2);
+        // A timed-out boundary wait never starts a frame, so no hook call.
+        let mut idle = StallingReader { data: Vec::new(), pos: 0 };
+        let _ = read_frame_hooked(&mut idle, MAX_FRAME_LEN, || fired += 1);
+        assert_eq!(fired, 2);
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub(crate) fn metrics_body(core: &ServerCore) -> String {
         }
     };
     let stats = &core.stats;
-    let families: [(&str, &str, u64); 7] = [
+    let families: [(&str, &str, u64); 8] = [
         (
             "fg_server_connections_accepted_total",
             "Connections accepted by the front door listener",
@@ -136,6 +136,11 @@ pub(crate) fn metrics_body(core: &ServerCore) -> String {
             "fg_server_http_requests_total",
             "HTTP requests served on the shared listener",
             stats.http_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "fg_server_connections_timed_out_total",
+            "Connections reaped by the idle timeout or mid-frame read deadline",
+            stats.connections_timed_out.load(Ordering::Relaxed),
         ),
     ];
     for (name, help, value) in families {

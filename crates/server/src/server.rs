@@ -61,6 +61,16 @@ pub struct ServerConfig {
     /// depth; the connection survives. Keeps a single pipelining client
     /// from parking the whole service queue behind its socket.
     pub max_inflight_per_conn: usize,
+    /// How long a binary connection may sit **between** frames before it is
+    /// reaped. `None` disables the guard (a quiet peer holds its slot
+    /// forever). Idle reaps close the socket but count as tidy closes —
+    /// nothing was half-sent, so the peer can simply reconnect.
+    pub idle_timeout: Option<Duration>,
+    /// How long a peer gets to finish a frame it has **started**. A stall
+    /// past this deadline is the slow-loris shape (drip one byte, park a
+    /// server thread indefinitely); the connection is reaped and counted in
+    /// `fg_server_connections_timed_out_total`. `None` disables the guard.
+    pub read_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +81,8 @@ impl Default for ServerConfig {
             retry_after_ms: 25,
             max_connections: 256,
             max_inflight_per_conn: 128,
+            idle_timeout: Some(Duration::from_secs(60)),
+            read_deadline: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -85,6 +97,7 @@ pub(crate) struct ServerStats {
     pub(crate) protocol_errors: AtomicU64,
     pub(crate) retry_afters: AtomicU64,
     pub(crate) http_requests: AtomicU64,
+    pub(crate) connections_timed_out: AtomicU64,
 }
 
 /// State shared by the accept loop and every connection thread.

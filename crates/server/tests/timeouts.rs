@@ -1,0 +1,147 @@
+//! Wire-level timeout acceptance, over real loopback sockets:
+//!
+//! 1. A slow-loris peer — one that *starts* a frame and then stalls — is
+//!    reaped by the read deadline, while a healthy connection sharing the
+//!    server keeps getting answers before, during, and after the reap.
+//! 2. A binary connection that goes quiet between frames is reaped once the
+//!    idle budget runs out.
+//! 3. Disabling both guards restores the patient pre-timeout behaviour.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fg_graph::gen;
+use fg_graph::partition::{PartitionConfig, PartitionMethod};
+use fg_graph::partitioned::PartitionedGraph;
+use fg_server::{ForkGraphServer, Request, Response, ServerConfig, WireClient, WirePayload, MAGIC};
+use fg_service::{ForkGraphService, ServiceConfig};
+use forkgraph_core::EngineConfig;
+
+fn start(config: ServerConfig) -> ForkGraphServer {
+    let g = gen::erdos_renyi(120, 700, 41).with_random_weights(8, 41);
+    let pg = Arc::new(PartitionedGraph::build(
+        &g,
+        PartitionConfig::with_partitions(PartitionMethod::Chunked, 4),
+    ));
+    let service = ForkGraphService::start(pg, EngineConfig::default(), ServiceConfig::default());
+    ForkGraphServer::start(service, config).expect("bind loopback")
+}
+
+/// Poll-read until the peer closes (EOF or reset), bounded by `patience`.
+fn closed_within(stream: &mut TcpStream, patience: Duration) -> bool {
+    stream.set_read_timeout(Some(Duration::from_millis(50))).expect("set poll timeout");
+    let deadline = Instant::now() + patience;
+    let mut scratch = [0u8; 256];
+    while Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) => return true,
+            Ok(_) => continue, // drain any pending response bytes
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return true, // a reset counts as closed too
+        }
+    }
+    false
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: fg\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read http response");
+    raw
+}
+
+#[test]
+fn a_mid_frame_staller_is_reaped_while_a_healthy_connection_keeps_serving() {
+    let server = start(ServerConfig {
+        idle_timeout: Some(Duration::from_secs(30)),
+        read_deadline: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut healthy = WireClient::connect(addr).expect("connect healthy");
+    match healthy.call(&Request::new(1, "sssp", 0), |_| {}).expect("warm query") {
+        Response::Result { payload: WirePayload::U64s(_), .. } => {}
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    // The slow loris: announce the binary dialect, start a frame, stall.
+    let mut staller = TcpStream::connect(addr).expect("connect staller");
+    staller.write_all(&MAGIC).expect("announce dialect");
+    staller.write_all(&[7, 0]).expect("half a length prefix"); // 2 of 4 header bytes
+    staller.flush().expect("flush");
+
+    // The read deadline only arms *inside* a frame: a healthy connection
+    // whose gaps between complete frames far exceed the deadline must keep
+    // being served, before and while the staller times out.
+    for i in 0..6u32 {
+        match healthy.call(&Request::new(i + 2, "sssp", i % 120), |_| {}).expect("healthy call") {
+            Response::Result { payload: WirePayload::U64s(dist), .. } => {
+                assert!(!dist.is_empty());
+            }
+            other => panic!("healthy query {i} should succeed, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    assert!(
+        closed_within(&mut staller, Duration::from_secs(10)),
+        "the mid-frame staller must be reaped by the read deadline"
+    );
+    let metrics = http_get(addr, "/metrics");
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("fg_server_connections_timed_out_total "))
+        .expect("timeout counter exposed on /metrics");
+    let reaped: u64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(reaped >= 1, "the reap must be counted: {line}");
+
+    // The healthy connection survived its neighbour's reaping.
+    match healthy.call(&Request::new(100, "bfs", 3), |_| {}).expect("post-reap call") {
+        Response::Result { .. } => {}
+        other => panic!("post-reap query should succeed, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn an_idle_binary_connection_is_reaped_after_the_idle_budget() {
+    let server = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(120)),
+        read_deadline: Some(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.write_all(&MAGIC).expect("announce dialect");
+    idle.flush().expect("flush");
+    assert!(
+        closed_within(&mut idle, Duration::from_secs(10)),
+        "an idle peer must be reaped once its budget runs out"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disabled_timeouts_leave_quiet_connections_alone() {
+    let server =
+        start(ServerConfig { idle_timeout: None, read_deadline: None, ..ServerConfig::default() });
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    std::thread::sleep(Duration::from_millis(300));
+    // Still alive: a query round-trips after the quiet spell.
+    match client.call(&Request::new(1, "sssp", 0), |_| {}).expect("call") {
+        Response::Result { .. } => {}
+        other => panic!("expected a result, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -432,6 +432,7 @@ impl ServiceHandle {
 
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
+        sync_epoch_counters(&self.shared.counters, &self.shared.store);
         self.shared.counters.snapshot()
     }
 
@@ -583,6 +584,11 @@ impl ForkGraphService {
         trace: Option<Arc<TraceSink>>,
     ) -> Self {
         let store = Arc::new(VersionedGraph::new(Arc::clone(&graph)));
+        if let Some(sink) = &trace {
+            // Epoch pin/unpin/advance events land in the same stream as the
+            // submit/batch/resolve flow.
+            store.epochs().attach_trace(Arc::clone(sink));
+        }
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner { queue: VecDeque::new(), shutdown: false, draining: false }),
             work_ready: Condvar::new(),
@@ -647,6 +653,7 @@ impl ForkGraphService {
 
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> ServiceSnapshot {
+        sync_epoch_counters(&self.shared.counters, &self.shared.store);
         self.shared.counters.snapshot()
     }
 
@@ -671,6 +678,7 @@ impl ForkGraphService {
             sink: Arc::clone(sink),
             counters: Arc::clone(&self.shared.counters),
             pool: self.pool.clone(),
+            store: Arc::clone(&self.shared.store),
         })
     }
 
@@ -720,6 +728,7 @@ pub struct TraceHandle {
     sink: Arc<TraceSink>,
     counters: Arc<ServiceCounters>,
     pool: Option<Arc<WorkerPool>>,
+    store: Arc<VersionedGraph>,
 }
 
 impl TraceHandle {
@@ -738,11 +747,27 @@ impl TraceHandle {
     /// exposition format ([`fn@fg_trace::expose`]) — a complete `/metrics`
     /// response body.
     pub fn exposition(&self) -> String {
+        sync_epoch_counters(&self.counters, &self.store);
         let service = self.counters.snapshot();
         let pool = self.pool.as_ref().map(|pool| pool.metrics());
         let stats = self.sink.stats();
         fg_trace::expose(Some(&service), pool.as_ref(), Some(&stats))
     }
+}
+
+/// Mirror the epoch table's statistics into the service counters so one
+/// [`ServiceSnapshot`] carries them. The table is the source of truth;
+/// callers sync lazily (after each fold, and at metric-read time so the
+/// pin-lag gauge and reclamation count stay fresh between folds).
+fn sync_epoch_counters(counters: &ServiceCounters, store: &VersionedGraph) {
+    let epochs = store.epochs();
+    counters.sync_epoch_stats(
+        epochs.epochs_advanced(),
+        epochs.partitions_rematerialized(),
+        epochs.partitions_shared(),
+        epochs.snapshots_reclaimed(),
+        epochs.oldest_pinned_epoch_lag(),
+    );
 }
 
 /// Upper bound on retained incremental-restart hints; past it the batcher
@@ -757,8 +782,8 @@ fn batcher_loop(
     engine_config: EngineConfig,
     pool: Option<Arc<WorkerPool>>,
 ) {
-    let mut graph = graph;
     let num_partitions = graph.num_partitions();
+    drop(graph); // runs pin epoch snapshots; the start-time Arc is not needed
     let max_workers = engine_config.resolved_threads();
     // Delta-restart bookkeeping carried across quiesce points while every
     // applied batch stays monotone (insertions / weight decreases only):
@@ -841,17 +866,27 @@ fn batcher_loop(
             cohorts
         };
 
-        // ---- Quiesce point ----
-        // No engine run is in flight here (the previous batch's engine is
-        // gone, the next is not yet built), so this is the safe place to
-        // fold the pending mutation log into a fresh snapshot. Runs under
-        // the cache lock so invalidation is atomic with publication — the
-        // submit fast path can never serve a cached result the new version
-        // invalidates (it either sees the pending log or the purge).
+        // ---- Fold point ----
+        // Fold the pending mutation log into the next epoch's snapshot.
+        // `prepare` materializes dirty partitions entirely outside the locks
+        // — reads stay pinned on the current epoch and the submit fast path
+        // keeps admitting (a source the fold can reach misses the cache via
+        // `pending_affects`, because the log prefix is *not* drained until
+        // publish). Only the cheap `publish` swap runs under the cache lock,
+        // keeping invalidation atomic with publication: a submission either
+        // observes the still-pending log (miss) or runs after the purge
+        // (miss) — a stale hit has no window, same invariant as PR 8's
+        // quiesce-under-the-lock, without blocking admission on the rebuild.
         if shared.store.has_pending() {
-            let mut cache = shared.cache.lock();
-            if let Some(applied) = shared.store.quiesce() {
-                graph = Arc::clone(&applied.graph);
+            if let Some(fold) = shared.store.prepare() {
+                shared.emit(
+                    EventKind::DeltaFold,
+                    fold.mutations() as u32,
+                    fold.dirty_partitions().len() as u32,
+                    fold.base_version() as u32,
+                );
+                let mut cache = shared.cache.lock();
+                let applied = shared.store.publish(fold);
                 shared.counters.on_mutations_applied(applied.mutations);
                 if !applied.dirty_partitions.is_empty() {
                     // Evict exactly the keys this batch could reach: sources
@@ -890,6 +925,7 @@ fn batcher_loop(
                     inc_hints.clear();
                 }
             }
+            sync_epoch_counters(&shared.counters, &shared.store);
         }
 
         // Mutation-only wakeup: nothing to dispatch.
@@ -920,7 +956,6 @@ fn batcher_loop(
                 if !hinted.is_empty() {
                     run_incremental_cohort(
                         &shared,
-                        &graph,
                         engine_config,
                         &pool,
                         num_partitions,
@@ -970,11 +1005,16 @@ fn batcher_loop(
             cohorts.len(),
         );
         let batch_config = engine_config.with_threads(workers);
+        // One pin per run: the guard keeps this epoch's snapshot alive for
+        // exactly the engine's lifetime, and the borrow ties the engine to
+        // it. A fold publishing the next epoch mid-run never touches the
+        // pinned storage; it is reclaimed when the guard drops below.
+        let pin = shared.store.pin();
         let engine = match &pool {
             Some(pool) if workers > 1 => {
-                ForkGraphEngine::with_pool(&graph, batch_config, Arc::clone(pool))
+                ForkGraphEngine::for_snapshot_with_pool(&pin, batch_config, Arc::clone(pool))
             }
-            _ => ForkGraphEngine::new(&graph, batch_config),
+            _ => ForkGraphEngine::for_snapshot(&pin, batch_config),
         };
         let engine = match &shared.trace {
             Some(sink) => engine.with_trace_sink(Arc::clone(sink)),
@@ -1029,8 +1069,12 @@ fn batcher_loop(
                 shared.emit(EventKind::BatchEnd, batch_id, 0, 0);
                 for (_, members) in cohorts {
                     for pending in members {
-                        pending.slot.fulfil(Err(ServiceError::EngineFailure));
+                        // Emit before fulfil everywhere a ticket resolves: a
+                        // waiter woken by `fulfil` may snapshot the trace
+                        // immediately, and its Resolve event must already be
+                        // in the ring.
                         shared.emit(EventKind::Resolve, pending.trace_id, batch_id, 0);
+                        pending.slot.fulfil(Err(ServiceError::EngineFailure));
                     }
                 }
                 continue;
@@ -1070,8 +1114,8 @@ fn batcher_loop(
                     cache.insert(cache_key, Arc::clone(&result));
                 }
                 shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
-                pending.slot.fulfil(Ok(result));
                 shared.emit(EventKind::Resolve, pending.trace_id, batch_id, 0);
+                pending.slot.fulfil(Ok(result));
             }
         }
     }
@@ -1081,8 +1125,8 @@ fn batcher_loop(
     // braces for entries admitted just before it was set).
     let leftovers: Vec<Pending> = shared.inner.lock().queue.drain(..).collect();
     for pending in leftovers {
-        pending.slot.fulfil(Err(ServiceError::ShuttingDown));
         shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
+        pending.slot.fulfil(Err(ServiceError::ShuttingDown));
     }
 }
 
@@ -1094,7 +1138,6 @@ fn batcher_loop(
 #[allow(clippy::too_many_arguments)]
 fn run_incremental_cohort(
     shared: &Shared,
-    graph: &Arc<PartitionedGraph>,
     engine_config: EngineConfig,
     pool: &Option<Arc<WorkerPool>>,
     num_partitions: usize,
@@ -1109,11 +1152,14 @@ fn run_incremental_cohort(
     let workers =
         adaptive::effective_workers_mixed(&[(sources.len(), weight)], num_partitions, max_workers);
     let batch_config = engine_config.with_threads(workers);
+    // An incremental resume is a run like any other: one epoch pin for its
+    // duration.
+    let pin = shared.store.pin();
     let engine = match pool {
         Some(pool) if workers > 1 => {
-            ForkGraphEngine::with_pool(graph, batch_config, Arc::clone(pool))
+            ForkGraphEngine::for_snapshot_with_pool(&pin, batch_config, Arc::clone(pool))
         }
-        _ => ForkGraphEngine::new(graph, batch_config),
+        _ => ForkGraphEngine::for_snapshot(&pin, batch_config),
     };
     let engine = match &shared.trace {
         Some(sink) => engine.with_trace_sink(Arc::clone(sink)),
@@ -1174,14 +1220,14 @@ fn run_incremental_cohort(
                     cache.insert(cache_key, Arc::clone(&result));
                 }
                 shared.counters.record_latency(now.saturating_duration_since(pending.submitted_at));
-                pending.slot.fulfil(Ok(result));
                 shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
+                pending.slot.fulfil(Ok(result));
             }
         }
         _ => {
             for (pending, _) in hinted {
-                pending.slot.fulfil(Err(ServiceError::EngineFailure));
                 shared.emit(EventKind::Resolve, pending.trace_id, 0, 0);
+                pending.slot.fulfil(Err(ServiceError::EngineFailure));
             }
         }
     }

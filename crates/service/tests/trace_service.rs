@@ -7,12 +7,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fg_graph::gen;
 use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
-use fg_service::{ForkGraphService, Query, ServiceConfig};
+use fg_service::{EdgeMutation, ForkGraphService, Query, ServiceConfig};
 use fg_trace::{chrome, EventKind, TraceSink};
 use forkgraph_core::{EngineConfig, ExecutorMode};
 
@@ -158,4 +158,89 @@ fn traced_service_run_produces_connected_chrome_trace_and_event_chains() {
     assert!(exposition.contains("fg_service_submitted_total 32"), "{exposition}");
     assert!(exposition.contains("fg_trace_events_retained"), "{exposition}");
     assert!(!exposition.contains("NaN"), "{exposition}");
+}
+
+/// The epoch lifecycle events the MVCC layer emits must reconcile exactly
+/// with the epoch counters the service exposes: every pin released, one
+/// advance per published epoch, one fold event per advance, and per-advance
+/// rematerialized/shared payloads summing to the counter totals.
+#[test]
+fn epoch_trace_events_reconcile_with_epoch_counters() {
+    let g = gen::rmat(9, 6, 17).with_random_weights(8, 17);
+    let pg = Arc::new(PartitionedGraph::build(
+        &g,
+        PartitionConfig::with_partitions(PartitionMethod::Chunked, 4),
+    ));
+    let n = g.num_vertices() as u32;
+
+    let sink = TraceSink::new();
+    let service = ForkGraphService::start_traced(
+        Arc::clone(&pg),
+        EngineConfig::default(),
+        ServiceConfig {
+            batch_window: Duration::from_millis(1),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        },
+        Arc::clone(&sink),
+    );
+    let handle = service.handle();
+
+    // Four mutate → query rounds; each must eventually fold into a new epoch.
+    let mut advanced = 0u64;
+    for round in 0..4u32 {
+        handle.mutate(EdgeMutation::Insert { u: round, v: (round + 7) % n, w: 3 }).expect("mutate");
+        handle
+            .submit_query(Query::kernel("sssp").source(round % n))
+            .expect("submit")
+            .wait()
+            .expect("service answered");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = handle.metrics();
+            if m.epochs_advanced > advanced {
+                advanced = m.epochs_advanced;
+                break;
+            }
+            assert!(Instant::now() < deadline, "round {round}: the mutation never folded");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let metrics = handle.metrics();
+    let trace_handle = service.trace_handle().expect("started traced");
+    let json = trace_handle.chrome_trace();
+    // Shutdown first: the batcher exits and drops any pins it still holds,
+    // so the pin/unpin ledger below must balance exactly.
+    service.shutdown();
+
+    let events: Vec<_> = sink.merged_events().into_iter().map(|(_, e)| e).collect();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+    let pins = count(EventKind::EpochPin);
+    let unpins = count(EventKind::EpochUnpin);
+    let advances = count(EventKind::EpochAdvance);
+    let folds = count(EventKind::DeltaFold);
+
+    assert!(pins > 0, "dispatched runs pin epochs");
+    assert_eq!(pins, unpins, "every pin must be released");
+    assert_eq!(advances, metrics.epochs_advanced, "one EpochAdvance per published epoch");
+    assert_eq!(folds, advances, "one DeltaFold per advance");
+    assert!(metrics.epochs_advanced >= 4, "each round folded at least once");
+
+    // Per-advance payloads (b = rematerialized, c = shared) sum to the
+    // counters the service mirrors from the epoch table.
+    let (remat, shared) = events
+        .iter()
+        .filter(|e| e.kind == EventKind::EpochAdvance)
+        .fold((0u64, 0u64), |(r, s), e| (r + e.b as u64, s + e.c as u64));
+    assert_eq!(remat, metrics.partitions_rematerialized);
+    assert_eq!(shared, metrics.partitions_shared);
+    assert!(remat >= advances, "every advance rebuilt at least one dirty partition");
+    assert!(shared > 0, "single-edge folds must share clean partitions");
+
+    // The Chrome export names the new instants so the events are visible in
+    // a trace viewer, not just in the raw stream.
+    for name in ["epoch_pin", "epoch_unpin", "epoch_advance", "delta_fold"] {
+        assert!(json.contains(name), "chrome export carries {name}: {json}");
+    }
 }

@@ -200,6 +200,41 @@ pub fn export(sink: &TraceSink) -> String {
                     w.push(phase_event(name, "i", tid, event.nanos, &[("ticket", event.a as u64)]));
                     w.push(flow_event("f", tid, event.nanos, event.a as u64));
                 }
+                EventKind::EpochPin | EventKind::EpochUnpin => {
+                    w.push(phase_event(
+                        name,
+                        "i",
+                        tid,
+                        event.nanos,
+                        &[("epoch", event.a as u64), ("pins", event.b as u64)],
+                    ));
+                }
+                EventKind::EpochAdvance => {
+                    w.push(phase_event(
+                        name,
+                        "i",
+                        tid,
+                        event.nanos,
+                        &[
+                            ("epoch", event.a as u64),
+                            ("rematerialized", event.b as u64),
+                            ("shared", event.c as u64),
+                        ],
+                    ));
+                }
+                EventKind::DeltaFold => {
+                    w.push(phase_event(
+                        name,
+                        "i",
+                        tid,
+                        event.nanos,
+                        &[
+                            ("mutations", event.a as u64),
+                            ("dirty", event.b as u64),
+                            ("epoch", event.c as u64),
+                        ],
+                    ));
+                }
                 _ => {
                     w.push(phase_event(
                         name,

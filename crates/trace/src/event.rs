@@ -84,6 +84,22 @@ pub enum EventKind {
     /// A ticket was fulfilled (result, engine failure, or shutdown flush).
     /// `a` = ticket id, `b` = batch id (0 for a shutdown flush).
     Resolve = 20,
+    /// A reader pinned an epoch snapshot for the duration of one engine run.
+    /// `a` = epoch (low 32 bits), `b` = pin count on that epoch after the
+    /// pin.
+    EpochPin = 21,
+    /// The matching unpin when the reader's snapshot guard dropped. `a` = epoch
+    /// (low 32 bits), `b` = pin count remaining, `c` = 1 if the drop
+    /// reclaimed a retired snapshot's storage.
+    EpochUnpin = 22,
+    /// A new epoch was published by the writer. `a` = new epoch (low 32
+    /// bits), `b` = partitions re-materialized, `c` = partitions shared with
+    /// the previous epoch.
+    EpochAdvance = 23,
+    /// The writer folded a pending mutation log prefix into dirty-partition
+    /// deltas (off the lock, concurrent with pinned readers). `a` = mutations
+    /// folded, `b` = dirty partitions, `c` = base epoch (low 32 bits).
+    DeltaFold = 24,
 }
 
 impl EventKind {
@@ -111,6 +127,10 @@ impl EventKind {
             18 => EventKind::BatchEnd,
             19 => EventKind::JoinBatch,
             20 => EventKind::Resolve,
+            21 => EventKind::EpochPin,
+            22 => EventKind::EpochUnpin,
+            23 => EventKind::EpochAdvance,
+            24 => EventKind::DeltaFold,
             _ => return None,
         })
     }
@@ -135,6 +155,10 @@ impl EventKind {
             EventKind::BatchBegin | EventKind::BatchEnd => "batch",
             EventKind::JoinBatch => "join_batch",
             EventKind::Resolve => "resolve",
+            EventKind::EpochPin => "epoch_pin",
+            EventKind::EpochUnpin => "epoch_unpin",
+            EventKind::EpochAdvance => "epoch_advance",
+            EventKind::DeltaFold => "delta_fold",
         }
     }
 }
@@ -224,6 +248,10 @@ mod tests {
             EventKind::BatchEnd,
             EventKind::JoinBatch,
             EventKind::Resolve,
+            EventKind::EpochPin,
+            EventKind::EpochUnpin,
+            EventKind::EpochAdvance,
+            EventKind::DeltaFold,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), Some(kind));
         }
@@ -232,8 +260,8 @@ mod tests {
     #[test]
     fn unknown_kinds_decode_to_none() {
         assert_eq!(EventKind::from_u16(0), None);
-        assert_eq!(EventKind::from_u16(21), None);
+        assert_eq!(EventKind::from_u16(25), None);
         assert_eq!(EventKind::from_u16(u16::MAX), None);
-        assert_eq!(TraceEvent::decode([0, (21u64) << 32, 0]), None);
+        assert_eq!(TraceEvent::decode([0, (25u64) << 32, 0]), None);
     }
 }

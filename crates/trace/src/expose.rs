@@ -118,6 +118,48 @@ pub fn expose(
         );
         metric(
             &mut out,
+            "fg_service_epochs_advanced_total",
+            "counter",
+            "Snapshot epochs published (one per non-empty mutation fold).",
+            s.epochs_advanced as f64,
+        );
+        metric(
+            &mut out,
+            "fg_service_partitions_rematerialized_total",
+            "counter",
+            "Dirty partitions re-materialized across epoch advances.",
+            s.partitions_rematerialized as f64,
+        );
+        metric(
+            &mut out,
+            "fg_service_partitions_shared_total",
+            "counter",
+            "Clean partitions Arc-shared with the previous epoch across advances.",
+            s.partitions_shared as f64,
+        );
+        metric(
+            &mut out,
+            "fg_service_snapshots_reclaimed_total",
+            "counter",
+            "Retired epoch snapshots whose storage was reclaimed.",
+            s.snapshots_reclaimed as f64,
+        );
+        metric(
+            &mut out,
+            "fg_service_oldest_pinned_epoch_lag",
+            "gauge",
+            "Current epoch minus the oldest epoch still pinned by a run.",
+            s.oldest_pinned_epoch_lag as f64,
+        );
+        metric(
+            &mut out,
+            "fg_service_dirty_rematerialize_frac",
+            "gauge",
+            "Fraction of partition slots rebuilt (vs shared) across advances, in [0, 1].",
+            s.dirty_rematerialize_frac(),
+        );
+        metric(
+            &mut out,
             "fg_service_latency_p50_seconds",
             "gauge",
             "Median submit-to-result latency.",
@@ -215,6 +257,8 @@ mod tests {
         }
         assert!(text.contains("fg_service_submitted_total 10"), "{text}");
         assert!(text.contains("fg_service_cache_hit_rate 0.3"), "{text}");
+        assert!(text.contains("fg_service_epochs_advanced_total 0"), "{text}");
+        assert!(text.contains("fg_service_oldest_pinned_epoch_lag 0"), "{text}");
         assert!(text.contains("fg_pool_dispatches_total 9"), "{text}");
         assert!(text.contains("fg_trace_events_dropped_total 5"), "{text}");
         // Every sample line is preceded by its TYPE line.
@@ -241,6 +285,7 @@ mod tests {
         let text = expose(Some(&ServiceSnapshot::default()), Some(&PoolSnapshot::default()), None);
         assert!(!text.contains("NaN"), "{text}");
         assert!(text.contains("fg_service_mixed_run_rate 0"), "{text}");
+        assert!(text.contains("fg_service_dirty_rematerialize_frac 0"), "{text}");
         assert!(text.contains("fg_pool_mailbox_reuse_rate 0"), "{text}");
     }
 }
