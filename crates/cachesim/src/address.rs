@@ -85,6 +85,10 @@ pub mod layout {
         pub const CSR_OFFSETS: u64 = 1;
         /// CSR adjacency (targets + weights) array.
         pub const CSR_ADJACENCY: u64 = 2;
+        /// Compressed (delta/varint) partition payloads; partitions claim
+        /// fixed-stride slots inside this region (see
+        /// `GraphAccessTracer::compressed_scan`).
+        pub const COMPRESSED_PAYLOAD: u64 = 3;
         /// First per-query vertex-state region; query `q` uses `QUERY_STATE_BASE + q`.
         pub const QUERY_STATE_BASE: u64 = 64;
     }

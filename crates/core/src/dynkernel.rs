@@ -320,7 +320,7 @@ mod tests {
 
         fn process(
             &self,
-            graph: &CsrGraph,
+            graph: &fg_graph::AdjacencyView<'_>,
             state: &mut Self::State,
             vertex: fg_graph::VertexId,
             value: Self::Value,
@@ -334,7 +334,7 @@ mod tests {
                 return 0;
             }
             let mut edges = 0u64;
-            for &t in graph.out_neighbors(vertex) {
+            for t in graph.out_neighbors(vertex) {
                 edges += 1;
                 if value + 1 < state[t as usize] {
                     emit(t, value + 1, (value + 1) as u64);

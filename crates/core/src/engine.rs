@@ -778,6 +778,13 @@ impl<'g> ForkGraphEngine<'g> {
                 query_state_bytes: (num_queries * graph.num_vertices() * 8) as u64,
                 auxiliary_bytes: (num_partitions * self.config.num_buckets * 16) as u64,
             }),
+            storage: Some(fg_metrics::StorageNumbers {
+                compressed_partitions: self.pg.compressed_partitions() as u64,
+                total_partitions: num_partitions as u64,
+                payload_bytes_raw: self.pg.payload_bytes_raw() as u64,
+                payload_bytes_compressed: self.pg.payload_bytes_compressed() as u64,
+                bytes_per_edge: self.pg.bytes_per_edge(),
+            }),
         }
     }
 
@@ -804,6 +811,13 @@ impl<'g> ForkGraphEngine<'g> {
         let mut leftover: Vec<Operation<K::Value>> = Vec::new();
         let mut checker = self.config.yield_policy.for_partition(partition_edges, num_queries);
         let mut yielded = false;
+
+        // Adjacency for this visit: raw partitions borrow the monolithic CSR,
+        // compressed partitions stream-decode their varint payload per vertex.
+        let view = self.pg.adjacency_view(partition);
+        if view.is_compressed() {
+            self.emit_trace(EventKind::PartitionDecode, query, partition, 0);
+        }
 
         // With consolidation the query's operations are processed in priority
         // order (a per-query priority queue); without it, in arrival order.
@@ -837,7 +851,7 @@ impl<'g> ForkGraphEngine<'g> {
             let vertex = op.vertex;
             let mut emitted_local = 0usize;
             let edges =
-                kernel.process(graph, state, vertex, op.value, &mut |t, value, priority| {
+                kernel.process(&view, state, vertex, op.value, &mut |t, value, priority| {
                     let new_op = Operation::new(query, t, value, priority);
                     let target_partition = self.pg.partition_of(t);
                     if target_partition == partition {
@@ -858,10 +872,19 @@ impl<'g> ForkGraphEngine<'g> {
 
             if tracer.is_enabled() {
                 if edges > 0 {
-                    tracer.adjacency_scan(graph.adjacency_offset(vertex), graph.out_degree(vertex));
+                    // Compressed visits stream far fewer payload bytes per
+                    // vertex than the raw CSR slice, so they are charged the
+                    // (smaller) encoded byte range instead of the CSR lines.
+                    if let Some((start, end)) = view.decode_byte_range(vertex) {
+                        tracer.compressed_scan(partition as u64, vertex as u64, start, end);
+                    } else {
+                        tracer.adjacency_scan(
+                            graph.adjacency_offset(vertex),
+                            graph.out_degree(vertex),
+                        );
+                    }
                     tracer.state_write(query as usize, vertex as u64);
-                    let ids: Vec<u64> =
-                        graph.out_neighbors(vertex).iter().map(|&v| v as u64).collect();
+                    let ids: Vec<u64> = view.out_neighbors(vertex).map(|v| v as u64).collect();
                     tracer.state_read_batch(query as usize, &ids);
                 } else {
                     tracer.state_read(query as usize, vertex as u64);

@@ -19,7 +19,7 @@
 //! one interface — like `fg-service`'s kernel registry — use the object-safe
 //! erasure layer in [`crate::dynkernel`] instead.
 
-use fg_graph::{CsrGraph, VertexId, Weight};
+use fg_graph::{AdjacencyView, CsrGraph, VertexId, Weight};
 
 use crate::operation::Priority;
 
@@ -44,13 +44,18 @@ pub trait FppKernel: Sync {
 
     /// Process one operation at `vertex` carrying `value` against `state`.
     ///
+    /// Adjacency is read through `graph`, an [`AdjacencyView`] over the visit's
+    /// partition: raw partitions borrow the monolithic CSR slices, compressed
+    /// partitions stream-decode their varint payload — kernels never
+    /// materialise a compressed adjacency list.
+    ///
     /// New operations are handed to `emit(target_vertex, value, priority)`;
     /// the engine routes them to the right partition buffer. Returns the
     /// number of edges processed (0 when the operation was pruned), which
     /// feeds both the work counters and the yielding heuristics.
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         value: Self::Value,

@@ -1,7 +1,7 @@
 //! BFS kernel: level-ordered traversal. The priority functor is the level
 //! (lowest level from the source first), as described in Section 4.2.
 
-use fg_graph::{CsrGraph, VertexId, Weight};
+use fg_graph::{AdjacencyView, CsrGraph, VertexId, Weight};
 
 use crate::kernel::{FppKernel, IncrementalKernel};
 use crate::operation::Priority;
@@ -28,7 +28,7 @@ impl FppKernel for BfsKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         value: Self::Value,
@@ -39,7 +39,7 @@ impl FppKernel for BfsKernel {
         }
         state[vertex as usize] = value;
         let mut edges = 0u64;
-        for &t in graph.out_neighbors(vertex) {
+        for t in graph.out_neighbors(vertex) {
             edges += 1;
             let level = value + 1;
             if level < state[t as usize] {
@@ -80,10 +80,11 @@ mod tests {
         let g = gen::rmat(8, 5, 2);
         let kernel = BfsKernel;
         let mut state = kernel.init_state(&g);
+        let view = AdjacencyView::from_csr(&g);
         let mut heap = BinaryHeap::new();
         heap.push(Reverse((0u64, 4u32, 0u32)));
         while let Some(Reverse((_, vertex, value))) = heap.pop() {
-            kernel.process(&g, &mut state, vertex, value, &mut |t, val, pri| {
+            kernel.process(&view, &mut state, vertex, value, &mut |t, val, pri| {
                 heap.push(Reverse((pri, t, val)));
             });
         }
@@ -95,10 +96,11 @@ mod tests {
         let g = gen::path(4);
         let kernel = BfsKernel;
         let mut state = kernel.init_state(&g);
+        let view = AdjacencyView::from_csr(&g);
         let mut sink = |_: VertexId, _: u32, _: Priority| {};
-        assert!(kernel.process(&g, &mut state, 1, 1, &mut sink) > 0);
-        assert_eq!(kernel.process(&g, &mut state, 1, 1, &mut sink), 0);
-        assert_eq!(kernel.process(&g, &mut state, 1, 3, &mut sink), 0);
+        assert!(kernel.process(&view, &mut state, 1, 1, &mut sink) > 0);
+        assert_eq!(kernel.process(&view, &mut state, 1, 1, &mut sink), 0);
+        assert_eq!(kernel.process(&view, &mut state, 1, 3, &mut sink), 0);
         assert_eq!(state[1], 1);
     }
 }

@@ -8,7 +8,7 @@
 //! expanded first (LIFO priorities), and the result records the set of reached
 //! vertices together with a discovery index.
 
-use fg_graph::{CsrGraph, VertexId};
+use fg_graph::{AdjacencyView, CsrGraph, VertexId};
 
 use crate::kernel::FppKernel;
 use crate::operation::Priority;
@@ -44,7 +44,7 @@ impl FppKernel for DfsKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         _value: Self::Value,
@@ -59,7 +59,7 @@ impl FppKernel for DfsKernel {
         // the per-query priority queue behaves like a stack.
         let priority = Priority::MAX - state.discovered as Priority;
         let mut edges = 0u64;
-        for &t in graph.out_neighbors(vertex) {
+        for t in graph.out_neighbors(vertex) {
             edges += 1;
             if state.order[t as usize] == u32::MAX {
                 emit(t, (), priority);
@@ -80,12 +80,13 @@ mod tests {
         use crate::operation::{HeapEntry, Operation};
         let kernel = DfsKernel;
         let mut state = kernel.init_state(graph);
+        let view = AdjacencyView::from_csr(graph);
         let mut heap = BinaryHeap::new();
         let (v0, p0) = kernel.source_op(source);
         heap.push(HeapEntry { op: Operation::new(0, source, v0, p0) });
         while let Some(entry) = heap.pop() {
             let _: () = entry.op.value;
-            kernel.process(graph, &mut state, entry.op.vertex, (), &mut |t, val, pri| {
+            kernel.process(&view, &mut state, entry.op.vertex, (), &mut |t, val, pri| {
                 heap.push(HeapEntry { op: Operation::new(0, t, val, pri) });
             });
         }

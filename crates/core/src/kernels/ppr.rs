@@ -6,7 +6,7 @@
 //! emits residual shares to its neighbours. The priority functor prefers larger
 //! residual shares (the "most effective value changes" of Section 5.2).
 
-use fg_graph::{CsrGraph, VertexId};
+use fg_graph::{AdjacencyView, CsrGraph, VertexId};
 use fg_seq::ppr::PprConfig;
 
 use crate::kernel::FppKernel;
@@ -85,7 +85,7 @@ impl FppKernel for PprKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         value: Self::Value,
@@ -110,7 +110,7 @@ impl FppKernel for PprKernel {
         } else {
             let share = push_mass / 2.0 / deg;
             let priority = Self::priority_of(share);
-            for &t in graph.out_neighbors(vertex) {
+            for t in graph.out_neighbors(vertex) {
                 edges += 1;
                 emit(t, share, priority);
             }
@@ -134,6 +134,7 @@ mod tests {
         use std::collections::BinaryHeap;
         let kernel = PprKernel::new(config);
         let mut state = kernel.init_state(graph);
+        let view = AdjacencyView::from_csr(graph);
         let mut heap: BinaryHeap<Reverse<(Priority, VertexId, u64)>> = BinaryHeap::new();
         let mut payloads: Vec<f64> = Vec::new();
         let (v0, p0) = kernel.source_op(seed);
@@ -141,7 +142,7 @@ mod tests {
         heap.push(Reverse((p0, seed, 0)));
         while let Some(Reverse((_, vertex, idx))) = heap.pop() {
             let value = payloads[idx as usize];
-            kernel.process(graph, &mut state, vertex, value, &mut |t, val, pri| {
+            kernel.process(&view, &mut state, vertex, value, &mut |t, val, pri| {
                 payloads.push(val);
                 heap.push(Reverse((pri, t, payloads.len() as u64 - 1)));
             });
@@ -181,8 +182,9 @@ mod tests {
         let g = gen::complete(10);
         let kernel = PprKernel::new(PprConfig { epsilon: 0.1, ..Default::default() });
         let mut state = kernel.init_state(&g);
+        let view = AdjacencyView::from_csr(&g);
         let mut emitted = 0usize;
-        let edges = kernel.process(&g, &mut state, 0, 1e-6, &mut |_, _, _| emitted += 1);
+        let edges = kernel.process(&view, &mut state, 0, 1e-6, &mut |_, _, _| emitted += 1);
         assert_eq!(edges, 0);
         assert_eq!(emitted, 0);
         assert!(state.residual[0] > 0.0);

@@ -5,7 +5,7 @@
 //! walkers that cross a partition boundary are forwarded as buffered
 //! operations.
 
-use fg_graph::{CsrGraph, VertexId};
+use fg_graph::{AdjacencyView, CsrGraph, VertexId};
 use fg_seq::random_walk::RandomWalkConfig;
 
 use crate::kernel::FppKernel;
@@ -83,7 +83,7 @@ impl FppKernel for RandomWalkKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         value: Self::Value,
@@ -93,8 +93,8 @@ impl FppKernel for RandomWalkKernel {
         if value.steps_remaining == 0 || value.walkers == 0 {
             return 0;
         }
-        let neighbors = graph.out_neighbors(vertex);
-        if neighbors.is_empty() {
+        let degree = graph.out_degree(vertex);
+        if degree == 0 {
             // Dangling vertex: walkers stay put for their remaining steps.
             state.visits[vertex as usize] += value.walkers as u64 * value.steps_remaining as u64;
             return 0;
@@ -104,11 +104,11 @@ impl FppKernel for RandomWalkKernel {
         let mut remaining = value.walkers;
         let mut edges = 0u64;
         let mut seed = value.seed;
-        let share = (value.walkers as usize / neighbors.len()).max(1) as u32;
+        let share = (value.walkers as usize / degree).max(1) as u32;
         let mut idx = 0usize;
         while remaining > 0 {
             seed = Self::next_seed(seed, vertex as u64 + idx as u64);
-            let target = neighbors[(seed % neighbors.len() as u64) as usize];
+            let target = graph.neighbor_at(vertex, (seed % degree as u64) as usize);
             let walkers = share.min(remaining);
             remaining -= walkers;
             edges += walkers as u64;
@@ -141,12 +141,13 @@ mod tests {
         use crate::operation::{HeapEntry, Operation};
         let kernel = RandomWalkKernel::new(config);
         let mut state = kernel.init_state(graph);
+        let view = AdjacencyView::from_csr(graph);
         let mut heap = BinaryHeap::new();
         let (v0, p0) = kernel.source_op(source);
         heap.push(HeapEntry { op: Operation::new(0, source, v0, p0) });
         while let Some(entry) = heap.pop() {
             kernel.process(
-                graph,
+                &view,
                 &mut state,
                 entry.op.vertex,
                 entry.op.value,

@@ -2,7 +2,7 @@
 //! operations. The priority functor is the tentative distance (shorter paths
 //! first), exactly the Dijkstra functor the paper reuses for BC and LL.
 
-use fg_graph::{CsrGraph, Dist, VertexId, Weight, INF_DIST};
+use fg_graph::{AdjacencyView, CsrGraph, Dist, VertexId, Weight, INF_DIST};
 
 use crate::kernel::{FppKernel, IncrementalKernel};
 use crate::operation::Priority;
@@ -29,7 +29,7 @@ impl FppKernel for SsspKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         value: Self::Value,
@@ -80,11 +80,12 @@ mod tests {
         use std::collections::BinaryHeap;
         let kernel = SsspKernel;
         let mut state = kernel.init_state(graph);
+        let view = AdjacencyView::from_csr(graph);
         let mut heap = BinaryHeap::new();
         let (v0, p0) = kernel.source_op(source);
         heap.push(Reverse((p0, source, v0)));
         while let Some(Reverse((_, vertex, value))) = heap.pop() {
-            kernel.process(graph, &mut state, vertex, value, &mut |t, val, pri| {
+            kernel.process(&view, &mut state, vertex, value, &mut |t, val, pri| {
                 heap.push(Reverse((pri, t, val)));
             });
         }
@@ -102,10 +103,11 @@ mod tests {
         let g = gen::path(5).with_random_weights(1, 0);
         let kernel = SsspKernel;
         let mut state = kernel.init_state(&g);
+        let view = AdjacencyView::from_csr(&g);
         let mut sink = |_: VertexId, _: Dist, _: Priority| {};
-        assert!(kernel.process(&g, &mut state, 0, 0, &mut sink) > 0);
+        assert!(kernel.process(&view, &mut state, 0, 0, &mut sink) > 0);
         // Re-processing the source with a worse value does nothing.
-        assert_eq!(kernel.process(&g, &mut state, 0, 5, &mut sink), 0);
+        assert_eq!(kernel.process(&view, &mut state, 0, 5, &mut sink), 0);
         assert_eq!(state[0], 0);
     }
 
@@ -114,8 +116,9 @@ mod tests {
         let g = gen::complete(4).with_random_weights(5, 1);
         let kernel = SsspKernel;
         let mut state = kernel.init_state(&g);
+        let view = AdjacencyView::from_csr(&g);
         let mut emitted = Vec::new();
-        kernel.process(&g, &mut state, 0, 0, &mut |t, val, pri| emitted.push((t, val, pri)));
+        kernel.process(&view, &mut state, 0, 0, &mut |t, val, pri| emitted.push((t, val, pri)));
         assert!(!emitted.is_empty());
         for (_, val, pri) in emitted {
             assert_eq!(val, pri);

@@ -395,7 +395,7 @@ mod tests {
             }
             fn process(
                 &self,
-                _graph: &CsrGraph,
+                _graph: &fg_graph::AdjacencyView<'_>,
                 _state: &mut Self::State,
                 _vertex: VertexId,
                 _value: Self::Value,

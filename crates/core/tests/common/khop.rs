@@ -11,7 +11,7 @@
 //! proof that a kernel defined entirely outside workspace `src/` serves
 //! end-to-end).
 
-use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use fg_graph::{AdjacencyView, CsrGraph, Dist, VertexId, INF_DIST};
 use forkgraph_core::operation::Priority;
 use forkgraph_core::FppKernel;
 
@@ -37,7 +37,7 @@ impl FppKernel for KHopKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         (dist, hops): Self::Value,

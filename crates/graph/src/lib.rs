@@ -28,6 +28,9 @@
 //! * [`epoch`] — [`EpochTable`]/[`SnapshotGuard`], epoch-based snapshot
 //!   concurrency: runs pin the current epoch while writers fold the next;
 //!   old-epoch storage is reclaimed when its last pin drops.
+//! * [`payload`] — per-partition adjacency payloads: raw edge triples or
+//!   delta/varint-compressed bytes ([`StorageConfig`] policy), plus the
+//!   [`AdjacencyView`] kernels read adjacency through.
 //! * [`datasets`] — a registry of scaled-down synthetic stand-ins for the eight
 //!   graphs of Table 2 in the paper.
 //! * [`stats`] — degree distributions and other summary statistics.
@@ -41,12 +44,14 @@ pub mod io;
 pub mod mutation;
 pub mod partition;
 pub mod partitioned;
+pub mod payload;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use epoch::{EpochTable, SnapshotGuard};
 pub use mutation::{AppliedDeltas, EdgeMutation, MutationError, PreparedFold, VersionedGraph};
+pub use payload::{AdjacencyView, CompressedEdges, PartitionPayload, StorageConfig};
 
 /// Vertex identifier. Graphs in this workspace are bounded by `u32::MAX`
 /// vertices, which comfortably covers the scaled datasets and matches the

@@ -17,7 +17,8 @@
 //!   re-materializing **only dirty partitions**: every clean partition's
 //!   [`Arc<PartitionStore>`](crate::partitioned::PartitionStore) is shared
 //!   with the previous epoch, and the monolithic CSR is re-assembled from the
-//!   store segments without a global sort. The [`PartitionPlan`] is reused
+//!   store segments without a global sort. The
+//!   [`PartitionPlan`](crate::partition::PartitionPlan) is reused
 //!   (vertex count is immutable, so the old assignment stays valid).
 //! * [`VersionedGraph::publish`] atomically swaps the snapshot, drains the
 //!   consumed prefix, bumps the version, and advances the
@@ -527,8 +528,16 @@ impl VersionedGraph {
                     match changes.get(&p) {
                         None => Arc::clone(old_store),
                         Some(edits) => {
-                            let mut seg: BTreeMap<(VertexId, VertexId), Weight> =
-                                old_store.edges.iter().map(|&(u, v, w)| ((u, v), w)).collect();
+                            // `edge_segment` decodes compressed payloads
+                            // transiently; the rebuild below re-applies the
+                            // snapshot's storage policy, so a dirty
+                            // compressed partition is re-encoded and a clean
+                            // one stays Arc-shared untouched.
+                            let mut seg: BTreeMap<(VertexId, VertexId), Weight> = old_store
+                                .edge_segment()
+                                .iter()
+                                .map(|&(u, v, w)| ((u, v), w))
+                                .collect();
                             for &(pair, after) in edits {
                                 match after {
                                     Some(w) => {
@@ -547,6 +556,7 @@ impl VersionedGraph {
                                 edges,
                                 weighted,
                                 old.plan(),
+                                old.config().storage,
                             ))
                         }
                     }
@@ -822,7 +832,7 @@ mod tests {
         edges.push((2, 5, 4));
         let scratch = pg(&edges, 8, 4);
         assert_eq!(new.graph(), scratch.graph());
-        assert_eq!(new.store(1).edges, scratch.store(1).edges);
+        assert_eq!(new.store(1).edge_segment(), scratch.store(1).edge_segment());
         assert_eq!(new.store(1).quotient_row, scratch.store(1).quotient_row);
     }
 

@@ -20,6 +20,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::payload::StorageConfig;
 use crate::{CsrGraph, VertexId};
 
 /// Identifier of a partition within a [`PartitionPlan`].
@@ -84,6 +85,10 @@ pub struct PartitionConfig {
     pub target: PartitionTarget,
     /// Seed for the randomised methods.
     pub seed: u64,
+    /// Per-partition payload storage policy (raw, compressed, or adaptive by
+    /// footprint). Defaults to [`StorageConfig::Raw`].
+    #[serde(default)]
+    pub storage: StorageConfig,
 }
 
 impl PartitionConfig {
@@ -93,17 +98,29 @@ impl PartitionConfig {
             method: PartitionMethod::Multilevel,
             target: PartitionTarget::LlcBytes(llc_bytes),
             seed: 42,
+            storage: StorageConfig::Raw,
         }
     }
 
     /// Exactly `k` partitions with the given method.
     pub fn with_partitions(method: PartitionMethod, k: usize) -> Self {
-        PartitionConfig { method, target: PartitionTarget::NumPartitions(k), seed: 42 }
+        PartitionConfig {
+            method,
+            target: PartitionTarget::NumPartitions(k),
+            seed: 42,
+            storage: StorageConfig::Raw,
+        }
     }
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the payload storage policy.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
         self
     }
 

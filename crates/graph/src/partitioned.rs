@@ -15,9 +15,11 @@
 //! the stores are the storage identity that makes partial rebuilds and
 //! per-partition reclamation possible.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use crate::partition::{PartitionConfig, PartitionId, PartitionPlan};
+use crate::payload::{AdjacencyView, CompressedEdges, PartitionPayload, StorageConfig};
 use crate::{CsrGraph, Edge, VertexId, Weight};
 
 /// Per-partition metadata.
@@ -58,8 +60,10 @@ impl PartitionInfo {
 pub struct PartitionStore {
     /// Partition metadata (vertex membership, edge counts, footprint).
     pub info: PartitionInfo,
-    /// The partition's vertices' out-edges, source-grouped and target-sorted.
-    pub edges: Vec<Edge>,
+    /// The partition's vertices' out-edges, source-grouped and target-sorted —
+    /// held raw or delta/varint-compressed per the build-time
+    /// [`StorageConfig`] policy.
+    pub payload: PartitionPayload,
     /// This partition's row of the quotient adjacency bitset (bit `q` set iff
     /// some edge of this partition targets partition `q`), in
     /// `plan.num_partitions.div_ceil(64).max(1)` words. Cached here so
@@ -70,13 +74,17 @@ pub struct PartitionStore {
 
 impl PartitionStore {
     /// Build one partition's store from its vertex list and edge segment,
-    /// computing the metadata and quotient row the plan implies.
+    /// computing the metadata and quotient row the plan implies, and choosing
+    /// the payload representation `storage` asks for. The policy is applied
+    /// per store, so epoch-advance partial rebuilds re-encode exactly the
+    /// dirty partitions.
     pub fn build(
         id: PartitionId,
         vertices: Vec<VertexId>,
         edges: Vec<Edge>,
         weighted: bool,
         plan: &PartitionPlan,
+        storage: StorageConfig,
     ) -> Self {
         let words = plan.num_partitions.div_ceil(64).max(1);
         let mut internal = 0usize;
@@ -91,11 +99,16 @@ impl PartitionStore {
                 cut += 1;
             }
         }
-        let mut adjacency_bytes = edges.len() * std::mem::size_of::<VertexId>()
-            + vertices.len() * std::mem::size_of::<u64>();
-        if weighted {
-            adjacency_bytes += edges.len() * std::mem::size_of::<Weight>();
-        }
+        let raw_adjacency_bytes = raw_adjacency_bytes(edges.len(), vertices.len(), weighted);
+        let payload = if storage.wants_compression(raw_adjacency_bytes) {
+            PartitionPayload::Compressed(CompressedEdges::encode(&vertices, &edges, weighted))
+        } else {
+            PartitionPayload::Raw(edges)
+        };
+        let adjacency_bytes = match &payload {
+            PartitionPayload::Raw(_) => raw_adjacency_bytes,
+            PartitionPayload::Compressed(c) => c.payload_bytes(),
+        };
         // Vertex state: one distance/residual slot per vertex (8 bytes) as a
         // conservative per-query footprint estimate.
         let footprint_bytes = adjacency_bytes + vertices.len() * 8;
@@ -107,10 +120,40 @@ impl PartitionStore {
                 num_cut_edges: cut,
                 footprint_bytes,
             },
-            edges,
+            payload,
             quotient_row,
         }
     }
+
+    /// The partition's edge segment as triples — borrowed for raw payloads,
+    /// transiently decoded for compressed ones. Epoch folds and monolithic
+    /// CSR assembly go through this; visits stream-decode via
+    /// [`PartitionedGraph::adjacency_view`] instead.
+    pub fn edge_segment(&self) -> Cow<'_, [Edge]> {
+        match &self.payload {
+            PartitionPayload::Raw(edges) => Cow::Borrowed(edges.as_slice()),
+            PartitionPayload::Compressed(c) => Cow::Owned(c.decode_edges(&self.info.vertices)),
+        }
+    }
+
+    /// Whether this store holds its adjacency compressed.
+    #[inline]
+    pub fn is_compressed(&self) -> bool {
+        self.payload.is_compressed()
+    }
+}
+
+/// CSR-equivalent adjacency bytes of a raw-stored partition: targets +
+/// per-vertex offsets (+ weights) — the representation a raw visit actually
+/// streams through the monolithic CSR, and the baseline the compression
+/// metrics compare against.
+fn raw_adjacency_bytes(num_edges: usize, num_vertices: usize, weighted: bool) -> usize {
+    let mut bytes =
+        num_edges * std::mem::size_of::<VertexId>() + num_vertices * std::mem::size_of::<u64>();
+    if weighted {
+        bytes += num_edges * std::mem::size_of::<Weight>();
+    }
+    bytes
 }
 
 /// A graph divided into LLC-sized partitions, each behind its own
@@ -133,14 +176,14 @@ impl PartitionedGraph {
     /// Partition an already shared graph.
     pub fn build_arc(graph: Arc<CsrGraph>, config: PartitionConfig) -> PartitionedGraph {
         let plan = PartitionPlan::compute(&graph, &config);
-        let stores = Self::collect_stores(&graph, &plan);
+        let stores = Self::collect_stores(&graph, &plan, config.storage);
         PartitionedGraph { graph, plan, stores, config }
     }
 
     /// Build from a precomputed plan (used by the partition-method sweeps).
     pub fn from_plan(graph: Arc<CsrGraph>, plan: PartitionPlan, config: PartitionConfig) -> Self {
         assert!(plan.validate(&graph), "partition plan does not cover the graph");
-        let stores = Self::collect_stores(&graph, &plan);
+        let stores = Self::collect_stores(&graph, &plan, config.storage);
         PartitionedGraph { graph, plan, stores, config }
     }
 
@@ -157,12 +200,17 @@ impl PartitionedGraph {
     ) -> Self {
         debug_assert_eq!(stores.len(), plan.num_partitions);
         debug_assert!(stores.iter().enumerate().all(|(p, s)| s.info.id as usize == p));
-        let segments: Vec<&[Edge]> = stores.iter().map(|s| s.edges.as_slice()).collect();
-        let graph = Arc::new(CsrGraph::from_edge_segments(num_vertices, &segments, weighted));
+        let segments: Vec<Cow<'_, [Edge]>> = stores.iter().map(|s| s.edge_segment()).collect();
+        let refs: Vec<&[Edge]> = segments.iter().map(|c| c.as_ref()).collect();
+        let graph = Arc::new(CsrGraph::from_edge_segments(num_vertices, &refs, weighted));
         PartitionedGraph { graph, plan, stores, config }
     }
 
-    fn collect_stores(graph: &CsrGraph, plan: &PartitionPlan) -> Vec<Arc<PartitionStore>> {
+    fn collect_stores(
+        graph: &CsrGraph,
+        plan: &PartitionPlan,
+        storage: StorageConfig,
+    ) -> Vec<Arc<PartitionStore>> {
         let k = plan.num_partitions;
         let mut vertices: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         for v in 0..graph.num_vertices() as VertexId {
@@ -182,6 +230,7 @@ impl PartitionedGraph {
                     edges,
                     graph.is_weighted(),
                     plan,
+                    storage,
                 ))
             })
             .collect()
@@ -249,9 +298,80 @@ impl PartitionedGraph {
         }
     }
 
-    /// Largest partition footprint in bytes.
+    /// Largest partition footprint in bytes. Reflects the *actual* payload
+    /// representation: compressed partitions report their encoded size, so
+    /// [`PartitionConfig::llc_sized`] sizing packs more compressed partitions
+    /// per LLC target.
     pub fn max_footprint_bytes(&self) -> usize {
         self.partitions().map(|p| p.footprint_bytes).max().unwrap_or(0)
+    }
+
+    /// Adjacency read access for visits to partition `p`: raw partitions get
+    /// a plain CSR view (the pre-compression code path, byte for byte),
+    /// compressed partitions a streaming varint-decode view.
+    #[inline]
+    pub fn adjacency_view(&self, p: PartitionId) -> AdjacencyView<'_> {
+        let store = &self.stores[p as usize];
+        match &store.payload {
+            PartitionPayload::Raw(_) => AdjacencyView::from_csr(&self.graph),
+            PartitionPayload::Compressed(c) => {
+                AdjacencyView::compressed(&self.graph, &store.info.vertices, c)
+            }
+        }
+    }
+
+    /// Number of partitions stored compressed.
+    pub fn compressed_partitions(&self) -> usize {
+        self.stores.iter().filter(|s| s.is_compressed()).count()
+    }
+
+    /// Total adjacency payload bytes of raw-stored partitions
+    /// (CSR-equivalent: targets + per-vertex offsets + weights).
+    pub fn payload_bytes_raw(&self) -> usize {
+        self.stores
+            .iter()
+            .filter(|s| !s.is_compressed())
+            .map(|s| self.raw_equivalent_bytes(&s.info))
+            .sum()
+    }
+
+    /// Total adjacency payload bytes of compressed-stored partitions
+    /// (varint bytes + offsets).
+    pub fn payload_bytes_compressed(&self) -> usize {
+        self.stores
+            .iter()
+            .filter_map(|s| match &s.payload {
+                PartitionPayload::Compressed(c) => Some(c.payload_bytes()),
+                PartitionPayload::Raw(_) => None,
+            })
+            .sum()
+    }
+
+    /// Mean adjacency bytes per directed edge across all partitions, under
+    /// each partition's actual representation.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.graph.num_edges() == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes_raw() + self.payload_bytes_compressed()) as f64
+            / self.graph.num_edges() as f64
+    }
+
+    /// Fraction of the raw CSR-equivalent adjacency bytes the chosen payload
+    /// representations save: `0.0` when everything is raw, approaching `1.0`
+    /// as compression shrinks every partition.
+    pub fn footprint_savings_ratio(&self) -> f64 {
+        let raw_equiv: usize = self.stores.iter().map(|s| self.raw_equivalent_bytes(&s.info)).sum();
+        if raw_equiv == 0 {
+            return 0.0;
+        }
+        let actual = self.payload_bytes_raw() + self.payload_bytes_compressed();
+        1.0 - actual as f64 / raw_equiv as f64
+    }
+
+    /// What `info`'s partition would occupy stored raw (CSR-equivalent).
+    fn raw_equivalent_bytes(&self, info: &PartitionInfo) -> usize {
+        raw_adjacency_bytes(info.num_edges(), info.num_vertices(), self.graph.is_weighted())
     }
 
     /// Partition → worker affinity hints for an inter-partition parallel
@@ -448,5 +568,93 @@ mod tests {
         assert_eq!(pg.num_partitions(), 1);
         assert_eq!(pg.total_cut_edges(), 0);
         assert_eq!(pg.partition(0).num_vertices(), 20);
+    }
+
+    #[test]
+    fn compressed_storage_round_trips_and_shrinks() {
+        let g = gen::rmat(10, 6, 4).into_weighted(8);
+        let base = PartitionConfig::with_partitions(PartitionMethod::Multilevel, 6);
+        // Share one plan: multilevel partitioning is not deterministic across
+        // separate builds (internal hash-map tie-breaking), and this test
+        // compares partitions pairwise.
+        let plan = crate::partition::PartitionPlan::compute(&g, &base);
+        let arc = Arc::new(g.clone());
+        let raw = PartitionedGraph::from_plan(Arc::clone(&arc), plan.clone(), base);
+        let comp =
+            PartitionedGraph::from_plan(arc, plan, base.with_storage(StorageConfig::Compressed));
+        // Same monolithic CSR regardless of payload representation.
+        assert_eq!(raw.graph(), comp.graph());
+        assert_eq!(raw.compressed_partitions(), 0);
+        assert_eq!(comp.compressed_partitions(), comp.num_partitions());
+        assert_eq!(raw.payload_bytes_compressed(), 0);
+        assert_eq!(comp.payload_bytes_raw(), 0);
+        assert_eq!(raw.footprint_savings_ratio(), 0.0);
+        assert!(comp.footprint_savings_ratio() > 0.3, "{}", comp.footprint_savings_ratio());
+        assert!(
+            comp.bytes_per_edge() <= 0.6 * raw.bytes_per_edge(),
+            "compressed {} vs raw {} bytes/edge",
+            comp.bytes_per_edge(),
+            raw.bytes_per_edge()
+        );
+        assert!(comp.max_footprint_bytes() < raw.max_footprint_bytes());
+        // The stores decode back to identical edge segments.
+        for p in 0..raw.num_partitions() as PartitionId {
+            assert!(comp.store(p).is_compressed());
+            assert_eq!(raw.store(p).edge_segment(), comp.store(p).edge_segment(), "part {p}");
+            assert_eq!(raw.store(p).quotient_row, comp.store(p).quotient_row, "row {p}");
+        }
+    }
+
+    #[test]
+    fn from_stores_round_trips_compressed_payloads() {
+        let g = gen::rmat(9, 6, 4).into_weighted(8);
+        let config = PartitionConfig::with_partitions(PartitionMethod::Multilevel, 5)
+            .with_storage(StorageConfig::Compressed);
+        let pg = PartitionedGraph::build(&g, config);
+        let stores: Vec<Arc<PartitionStore>> =
+            (0..pg.num_partitions()).map(|p| Arc::clone(pg.store(p as PartitionId))).collect();
+        let rebuilt = PartitionedGraph::from_stores(
+            g.num_vertices(),
+            g.is_weighted(),
+            pg.plan().clone(),
+            *pg.config(),
+            stores,
+        );
+        assert_eq!(rebuilt.graph(), &g);
+    }
+
+    #[test]
+    fn adaptive_storage_compresses_only_large_partitions() {
+        let g = gen::rmat(10, 6, 9).into_weighted(8);
+        let base = PartitionConfig::with_partitions(PartitionMethod::Multilevel, 8);
+        let plan = crate::partition::PartitionPlan::compute(&g, &base);
+        let arc = Arc::new(g.clone());
+        let raw = PartitionedGraph::from_plan(Arc::clone(&arc), plan.clone(), base);
+        // Raw adjacency bytes per partition = footprint minus the 8-byte
+        // per-vertex state estimate; threshold at the median splits the set.
+        let mut adj: Vec<usize> =
+            raw.partitions().map(|p| p.footprint_bytes - p.num_vertices() * 8).collect();
+        adj.sort_unstable();
+        let threshold = adj[adj.len() / 2];
+        let adaptive = PartitionedGraph::from_plan(
+            arc,
+            plan,
+            base.with_storage(StorageConfig::Adaptive { min_bytes: threshold }),
+        );
+        let compressed = adaptive.compressed_partitions();
+        assert!(compressed > 0, "some partition clears the median threshold");
+        assert!(compressed < adaptive.num_partitions(), "some partition stays raw");
+        assert!(adaptive.payload_bytes_raw() > 0 && adaptive.payload_bytes_compressed() > 0);
+        for (p, info) in adaptive.partitions().enumerate() {
+            let raw_info = raw.partition(p as PartitionId);
+            let raw_adj = raw_info.footprint_bytes - raw_info.num_vertices() * 8;
+            assert_eq!(
+                adaptive.store(p as PartitionId).is_compressed(),
+                raw_adj >= threshold,
+                "partition {p} ({} raw bytes)",
+                raw_adj
+            );
+            assert_eq!(info.num_edges(), raw_info.num_edges());
+        }
     }
 }

@@ -52,6 +52,34 @@ impl MemoryEstimate {
     }
 }
 
+/// Partition-storage numbers of one run: how many partitions hold compressed
+/// (delta/varint) adjacency payloads and what the stored bytes amount to,
+/// relative to the raw CSR-equivalent encoding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageNumbers {
+    /// Partitions stored as compressed delta/varint payloads.
+    pub compressed_partitions: u64,
+    /// Total partitions in the store.
+    pub total_partitions: u64,
+    /// Adjacency bytes of raw-stored partitions (CSR-equivalent form).
+    pub payload_bytes_raw: u64,
+    /// Encoded adjacency bytes of compressed partitions.
+    pub payload_bytes_compressed: u64,
+    /// Mean stored adjacency bytes per edge across all partitions.
+    pub bytes_per_edge: f64,
+}
+
+impl StorageNumbers {
+    /// Fraction of partitions stored compressed, in `[0, 1]`.
+    pub fn compressed_fraction(&self) -> f64 {
+        if self.total_partitions == 0 {
+            0.0
+        } else {
+            self.compressed_partitions as f64 / self.total_partitions as f64
+        }
+    }
+}
+
 /// One engine run's results.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
@@ -65,6 +93,9 @@ pub struct Measurement {
     pub cache: Option<CacheNumbers>,
     /// Approximate memory consumption.
     pub memory: Option<MemoryEstimate>,
+    /// Partition-storage numbers (engines with a partition store only).
+    #[serde(default)]
+    pub storage: Option<StorageNumbers>,
 }
 
 impl Measurement {
@@ -132,6 +163,19 @@ mod tests {
         };
         assert_eq!(m.total_bytes(), 2 << 30);
         assert!((m.total_gib() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_numbers_compressed_fraction() {
+        let s = StorageNumbers {
+            compressed_partitions: 3,
+            total_partitions: 4,
+            payload_bytes_raw: 1000,
+            payload_bytes_compressed: 300,
+            bytes_per_edge: 2.5,
+        };
+        assert!((s.compressed_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(StorageNumbers::default().compressed_fraction(), 0.0);
     }
 
     #[test]

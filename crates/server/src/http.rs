@@ -18,13 +18,25 @@ use crate::server::ServerCore;
 const MAX_HEAD: usize = 8 * 1024;
 
 /// Serve one sniffed-as-HTTP connection. `prefix` holds the 4 bytes the
-/// sniffer already consumed (the start of the method).
+/// sniffer already consumed (the start of the method). The configured
+/// `read_deadline` bounds the header read — the HTTP dialect gets the same
+/// slow-loris guard as the binary one, and a reap counts in
+/// `fg_server_connections_timed_out_total`.
 pub(crate) fn run_http_connection(core: &ServerCore, stream: TcpStream, prefix: &[u8]) {
     core.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(core.config.read_deadline);
     let mut head = prefix.to_vec();
-    if !read_head(&stream, &mut head) {
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
+    match read_head(&stream, &mut head) {
+        HeadRead::Complete => {}
+        HeadRead::TimedOut => {
+            core.stats.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        HeadRead::Failed => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
     }
     let response = respond(core, &head);
     let mut writer = &stream;
@@ -33,21 +45,34 @@ pub(crate) fn run_http_connection(core: &ServerCore, stream: TcpStream, prefix: 
     let _ = stream.shutdown(Shutdown::Both);
 }
 
+/// Outcome of reading one request head.
+enum HeadRead {
+    /// The blank line ending the headers arrived within the deadline.
+    Complete,
+    /// The peer stalled past the configured `read_deadline`.
+    TimedOut,
+    /// Closed, reset, or oversized head.
+    Failed,
+}
+
 /// Read until the blank line ending the headers (or the cap / a timeout).
-fn read_head(mut stream: &TcpStream, head: &mut Vec<u8>) -> bool {
+fn read_head(mut stream: &TcpStream, head: &mut Vec<u8>) -> HeadRead {
     let mut buf = [0u8; 1024];
     while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
         if head.len() > MAX_HEAD {
-            return false;
+            return HeadRead::Failed;
         }
         match stream.read(&mut buf) {
-            Ok(0) => return false,
+            Ok(0) => return HeadRead::Failed,
             Ok(n) => head.extend_from_slice(&buf[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => return false,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return HeadRead::TimedOut;
+            }
+            Err(_) => return HeadRead::Failed,
         }
     }
-    true
+    HeadRead::Complete
 }
 
 fn respond(core: &ServerCore, head: &[u8]) -> Vec<u8> {

@@ -35,10 +35,6 @@ use crate::protocol::{encode_response, Response, CONNECTION_CORRELATION, MAGIC};
 /// Accept-loop poll interval while checking the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// How long a freshly accepted socket may take to reveal its dialect before
-/// the server hangs up on it.
-const SNIFF_TIMEOUT: Duration = Duration::from_secs(5);
-
 /// Tuning for [`ForkGraphServer`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -66,11 +62,30 @@ pub struct ServerConfig {
     /// forever). Idle reaps close the socket but count as tidy closes —
     /// nothing was half-sent, so the peer can simply reconnect.
     pub idle_timeout: Option<Duration>,
-    /// How long a peer gets to finish a frame it has **started**. A stall
-    /// past this deadline is the slow-loris shape (drip one byte, park a
-    /// server thread indefinitely); the connection is reaped and counted in
+    /// How long a peer gets to finish a frame it has **started** (binary
+    /// dialect) or its request head (HTTP dialect). A stall past this
+    /// deadline is the slow-loris shape (drip one byte, park a server thread
+    /// indefinitely); the connection is reaped and counted in
     /// `fg_server_connections_timed_out_total`. `None` disables the guard.
+    /// The dialect sniff itself is bounded by
+    /// [`sniff_timeout`](Self::sniff_timeout), derived from this and
+    /// [`idle_timeout`](Self::idle_timeout).
     pub read_deadline: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// How long a freshly accepted socket may take to reveal its dialect
+    /// (the 4-byte sniff) before the server hangs up on it: the tighter of
+    /// [`idle_timeout`](Self::idle_timeout) (the peer has sent nothing yet)
+    /// and [`read_deadline`](Self::read_deadline) (a partial sniff is a
+    /// started read). `None` — wait forever — only when both guards are
+    /// disabled.
+    pub fn sniff_timeout(&self) -> Option<Duration> {
+        match (self.idle_timeout, self.read_deadline) {
+            (Some(idle), Some(read)) => Some(idle.min(read)),
+            (idle, read) => idle.or(read),
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -301,7 +316,7 @@ fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
     let conn_core = Arc::clone(core);
     let spawned = std::thread::Builder::new().name("fg-server-conn".into()).spawn(move || {
         let _guard = ConnGuard { core: Arc::clone(&conn_core), id: conn_id };
-        let _ = stream.set_read_timeout(Some(SNIFF_TIMEOUT));
+        let _ = stream.set_read_timeout(conn_core.config.sniff_timeout());
         let mut first = [0u8; 4];
         let mut filled = 0;
         // Read exactly 4 bytes to classify the dialect. HTTP request lines
@@ -311,7 +326,12 @@ fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
                 Ok(0) => return,
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return, // sniff timeout or reset
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Sniff deadline: the peer never revealed its dialect.
+                    conn_core.stats.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => return, // reset
             }
         }
         let _ = stream.set_read_timeout(None);
@@ -334,5 +354,30 @@ fn spawn_connection(core: &Arc<ServerCore>, stream: TcpStream) {
             core.conns.lock().retain(|(id, _)| *id != conn_id);
             core.live_conns.fetch_sub(1, Ordering::AcqRel);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniff_timeout_is_the_tighter_of_the_two_guards() {
+        let mut config = ServerConfig {
+            idle_timeout: Some(Duration::from_secs(60)),
+            read_deadline: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        };
+        assert_eq!(config.sniff_timeout(), Some(Duration::from_secs(10)));
+
+        config.read_deadline = None;
+        assert_eq!(config.sniff_timeout(), Some(Duration::from_secs(60)));
+
+        config.idle_timeout = None;
+        config.read_deadline = Some(Duration::from_secs(3));
+        assert_eq!(config.sniff_timeout(), Some(Duration::from_secs(3)));
+
+        config.read_deadline = None;
+        assert_eq!(config.sniff_timeout(), None);
     }
 }

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use fg_graph::gen;
 use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
-use fg_graph::{CsrGraph, Dist, VertexId, INF_DIST};
+use fg_graph::{AdjacencyView, CsrGraph, Dist, VertexId, INF_DIST};
 use fg_server::{
     ForkGraphServer, Request, Response, ServerConfig, WireClient, WireErrorCode, WirePayload,
 };
@@ -62,7 +62,7 @@ impl FppKernel for HopCapKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         (dist, hops): Self::Value,

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
-use fg_graph::{gen, CsrGraph, Dist, VertexId};
+use fg_graph::{gen, AdjacencyView, CsrGraph, Dist, VertexId};
 use fg_service::{
     ForkGraphService, InstantiatedKernel, ParamError, Query, QueryParams, ServiceConfig,
 };
@@ -145,7 +145,7 @@ impl FppKernel for HopTableKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         (dist, hops): Self::Value,

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use fg_graph::partition::{PartitionConfig, PartitionMethod};
 use fg_graph::partitioned::PartitionedGraph;
-use fg_graph::{gen, CsrGraph, Dist, VertexId, INF_DIST};
+use fg_graph::{gen, AdjacencyView, CsrGraph, Dist, VertexId, INF_DIST};
 use fg_seq::ppr::PprConfig;
 use fg_seq::random_walk::RandomWalkConfig;
 use fg_service::{
@@ -186,7 +186,7 @@ impl FppKernel for KHopKernel {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         (dist, hops): Self::Value,

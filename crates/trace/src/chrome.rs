@@ -222,6 +222,15 @@ pub fn export(sink: &TraceSink) -> String {
                         ],
                     ));
                 }
+                EventKind::PartitionDecode => {
+                    w.push(phase_event(
+                        name,
+                        "i",
+                        tid,
+                        event.nanos,
+                        &[("query", event.a as u64), ("partition", event.b as u64)],
+                    ));
+                }
                 EventKind::DeltaFold => {
                     w.push(phase_event(
                         name,

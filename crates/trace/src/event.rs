@@ -100,6 +100,9 @@ pub enum EventKind {
     /// deltas (off the lock, concurrent with pinned readers). `a` = mutations
     /// folded, `b` = dirty partitions, `c` = base epoch (low 32 bits).
     DeltaFold = 24,
+    /// A partition visit streamed a **compressed** (delta/varint) adjacency
+    /// payload instead of raw CSR slices. `a` = query id, `b` = partition id.
+    PartitionDecode = 25,
 }
 
 impl EventKind {
@@ -131,6 +134,7 @@ impl EventKind {
             22 => EventKind::EpochUnpin,
             23 => EventKind::EpochAdvance,
             24 => EventKind::DeltaFold,
+            25 => EventKind::PartitionDecode,
             _ => return None,
         })
     }
@@ -159,6 +163,7 @@ impl EventKind {
             EventKind::EpochUnpin => "epoch_unpin",
             EventKind::EpochAdvance => "epoch_advance",
             EventKind::DeltaFold => "delta_fold",
+            EventKind::PartitionDecode => "partition_decode",
         }
     }
 }
@@ -252,6 +257,7 @@ mod tests {
             EventKind::EpochUnpin,
             EventKind::EpochAdvance,
             EventKind::DeltaFold,
+            EventKind::PartitionDecode,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), Some(kind));
         }
@@ -260,8 +266,8 @@ mod tests {
     #[test]
     fn unknown_kinds_decode_to_none() {
         assert_eq!(EventKind::from_u16(0), None);
-        assert_eq!(EventKind::from_u16(25), None);
+        assert_eq!(EventKind::from_u16(26), None);
         assert_eq!(EventKind::from_u16(u16::MAX), None);
-        assert_eq!(TraceEvent::decode([0, (25u64) << 32, 0]), None);
+        assert_eq!(TraceEvent::decode([0, (26u64) << 32, 0]), None);
     }
 }

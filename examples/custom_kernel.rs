@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use forkgraph::core::kernel::FppKernel;
 use forkgraph::core::operation::Priority;
-use forkgraph::graph::{gen, CsrGraph, Dist, VertexId, INF_DIST};
+use forkgraph::graph::{gen, AdjacencyView, CsrGraph, Dist, VertexId, INF_DIST};
 use forkgraph::prelude::*;
 use forkgraph::service::{InstantiatedKernel, ParamError};
 
@@ -79,7 +79,7 @@ impl FppKernel for KHopReachability {
 
     fn process(
         &self,
-        graph: &CsrGraph,
+        graph: &AdjacencyView<'_>,
         state: &mut Self::State,
         vertex: VertexId,
         (dist, hops): Self::Value,
